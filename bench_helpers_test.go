@@ -1,0 +1,84 @@
+package beff_test
+
+import (
+	"github.com/hpcbench/beff"
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/mpi"
+	"github.com/hpcbench/beff/internal/simfs"
+	"github.com/hpcbench/beff/internal/simnet"
+)
+
+// runCore runs b_eff directly on a prepared world configuration (used
+// by ablations that tweak world parameters the facade keeps fixed).
+func runCore(w mpi.WorldConfig) (*beff.BandwidthResult, error) {
+	return core.Run(w, core.Options{
+		MemoryPerProc: 128 << 20,
+		MaxLooplength: 2,
+		Reps:          1,
+		SkipAnalysis:  true,
+	})
+}
+
+// measureIOWithCache runs b_eff_io on a fixed synthetic machine whose
+// filesystem cache is the variable under study.
+func measureIOWithCache(cachePerServer int64) (*beff.IOResult, error) {
+	const n = 8
+	net := simnet.New(simnet.Config{
+		Fabric:           simnet.NewCrossbar(n, 0, 5*des.Microsecond),
+		TxBandwidth:      400e6,
+		RxBandwidth:      400e6,
+		SendOverhead:     4 * des.Microsecond,
+		RecvOverhead:     4 * des.Microsecond,
+		MemCopyBandwidth: 2e9,
+	})
+	fs, err := simfs.New(simfs.Config{
+		Name:               "ablation fs",
+		Servers:            4,
+		StripeUnit:         256 << 10,
+		BlockSize:          64 << 10,
+		WriteBandwidth:     50e6,
+		ReadBandwidth:      60e6,
+		SeekTime:           5 * des.Millisecond,
+		RequestOverhead:    100 * des.Microsecond,
+		OpenCost:           2 * des.Millisecond,
+		CloseCost:          2 * des.Millisecond,
+		Clients:            n,
+		CacheSizePerServer: cachePerServer,
+		MemoryBandwidth:    2e9,
+		AllocPerBlock:      30 * des.Microsecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return beffio.Run(mpi.WorldConfig{Net: net}, fs, beffio.Options{
+		T:                 15 * des.Second,
+		MPart:             2 << 20,
+		MaxRepsPerPattern: 1 << 12,
+	})
+}
+
+// measureIOWithLoad runs b_eff_io on the generic cluster profile with a
+// background I/O load fraction.
+func measureIOWithLoad(load float64) (*beff.IOResult, error) {
+	p, err := beff.LookupMachine("cluster")
+	if err != nil {
+		return nil, err
+	}
+	w, err := p.BuildIOWorld(8)
+	if err != nil {
+		return nil, err
+	}
+	cfg := *p.FS
+	cfg.BackgroundLoad = load
+	fs, err := simfs.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return beffio.Run(w, fs, beffio.Options{
+		T:                 15 * des.Second,
+		MPart:             p.MPart(),
+		MaxRepsPerPattern: 1 << 12,
+	})
+}

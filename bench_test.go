@@ -1,0 +1,336 @@
+package beff_test
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation, plus ablation benches for the design choices
+// DESIGN.md calls out. Each benchmark iteration executes the relevant
+// full (simulated) benchmark run and reports the headline value as a
+// custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the paper's numbers (in simulator calibration) alongside
+// the harness cost. Processor counts are trimmed where the paper used
+// hundreds of processors; pass -full (see cmd/tables) for paper-scale
+// partitions.
+
+import (
+	"testing"
+
+	"github.com/hpcbench/beff"
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/mpiio"
+)
+
+// quickBW keeps b_eff event counts small; results are deterministic.
+func quickBW() beff.BandwidthOptions {
+	return beff.BandwidthOptions{MaxLooplength: 2, Reps: 1, SkipAnalysis: true}
+}
+
+func quickIO(t des.Duration) beff.IOOptions {
+	return beff.IOOptions{T: t, MaxRepsPerPattern: 1 << 12}
+}
+
+// BenchmarkTable1 regenerates the b_eff rows of Table 1. The reported
+// metrics are the table's columns: b_eff per process (MB/s), the value
+// at L_max, and the ring-pattern-only value at L_max.
+func BenchmarkTable1(b *testing.B) {
+	cases := []struct {
+		key   string
+		procs int
+	}{
+		{"t3e", 64}, {"t3e", 24}, {"t3e", 2},
+		{"sr8000-rr", 24}, {"sr8000-seq", 24},
+		{"sr2201", 16},
+		{"sx5", 4}, {"sx4", 16}, {"sx4", 8}, {"sx4", 4},
+		{"hpv", 7}, {"sv1", 15},
+	}
+	for _, c := range cases {
+		b.Run(c.key+"/"+itoa(c.procs), func(b *testing.B) {
+			var res *beff.BandwidthResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = beff.MeasureBandwidth(c.key, c.procs, quickBW())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.BeffPerProc()/1e6, "beff/proc-MB/s")
+			b.ReportMetric(res.AtLmaxPerProc()/1e6, "atLmax/proc-MB/s")
+			b.ReportMetric(res.RingAtLmaxPerProc()/1e6, "ring@Lmax/proc-MB/s")
+		})
+	}
+}
+
+// BenchmarkTable1PingPong regenerates the ping-pong column.
+func BenchmarkTable1PingPong(b *testing.B) {
+	for _, key := range []string{"t3e", "sr8000-seq", "sr8000-rr", "sv1"} {
+		b.Run(key, func(b *testing.B) {
+			var pp float64
+			for i := 0; i < b.N; i++ {
+				res, err := beff.MeasureBandwidth(key, 2, beff.BandwidthOptions{MaxLooplength: 1, Reps: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pp = res.PingPong
+			}
+			b.ReportMetric(pp/1e6, "pingpong-MB/s")
+		})
+	}
+}
+
+// BenchmarkFigure1 regenerates the balance factors of Fig. 1.
+func BenchmarkFigure1(b *testing.B) {
+	for _, c := range []struct {
+		key   string
+		procs int
+	}{{"t3e", 64}, {"sr8000-seq", 24}, {"sx5", 4}, {"sv1", 15}, {"hpv", 7}} {
+		b.Run(c.key, func(b *testing.B) {
+			p, err := beff.LookupMachine(c.key)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var bf float64
+			for i := 0; i < b.N; i++ {
+				res, err := beff.MeasureBandwidth(c.key, c.procs, quickBW())
+				if err != nil {
+					b.Fatal(err)
+				}
+				bf = beff.BalanceFactor(p, res)
+			}
+			b.ReportMetric(bf, "bytes/flop")
+		})
+	}
+}
+
+// BenchmarkFigure3 regenerates the partition sweeps of Fig. 3: T3E
+// (global I/O resource, flat) vs SP (client-scaling until the servers
+// saturate), at two schedule times T.
+func BenchmarkFigure3(b *testing.B) {
+	for _, key := range []string{"t3e", "sp"} {
+		for _, t := range []des.Duration{20 * des.Second, 40 * des.Second} {
+			b.Run(key+"/T="+t.String(), func(b *testing.B) {
+				opt := quickIO(t)
+				opt.SkipTypes = []beffio.PatternType{beffio.Segmented} // as the paper's Fig. 3 data
+				var last float64
+				for i := 0; i < b.N; i++ {
+					results, err := beff.MeasureIOSweep(key, []int{2, 4, 8, 16}, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = beffio.SystemValue(results).BeffIO
+				}
+				b.ReportMetric(last/1e6, "beffio-MB/s")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the per-pattern detail runs of Fig. 4
+// on the four systems; the reported metric is the initial-write value
+// of the scattering type (its strongest claim: best at small chunks).
+func BenchmarkFigure4(b *testing.B) {
+	cases := map[string]int{"sp": 8, "t3e": 16, "sr8000-seq": 8, "sx5": 4}
+	for _, key := range []string{"sp", "t3e", "sr8000-seq", "sx5"} {
+		b.Run(key, func(b *testing.B) {
+			var res *beff.IOResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = beff.MeasureIO(key, cases[key], quickIO(20*des.Second))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			write := res.Methods[beffio.InitialWrite]
+			b.ReportMetric(write.Types[beffio.Scatter].BW/1e6, "scatter-write-MB/s")
+			b.ReportMetric(write.Types[beffio.Separate].BW/1e6, "separate-write-MB/s")
+			b.ReportMetric(res.BeffIO/1e6, "beffio-MB/s")
+		})
+	}
+}
+
+// BenchmarkFigure5 regenerates the final b_eff_io comparison.
+func BenchmarkFigure5(b *testing.B) {
+	cases := map[string][]int{
+		"sp": {4, 8, 16}, "t3e": {4, 8, 16}, "sr8000-seq": {4, 8}, "sx5": {2, 4},
+	}
+	for _, key := range []string{"sp", "t3e", "sr8000-seq", "sx5"} {
+		b.Run(key, func(b *testing.B) {
+			var best float64
+			for i := 0; i < b.N; i++ {
+				results, err := beff.MeasureIOSweep(key, cases[key], quickIO(20*des.Second))
+				if err != nil {
+					b.Fatal(err)
+				}
+				best = beffio.SystemValue(results).BeffIO
+			}
+			b.ReportMetric(best/1e6, "beffio-MB/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+
+// BenchmarkAblationPlacement contrasts SMP rank placements — the
+// Hitachi round-robin vs sequential rows of Table 1.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for _, key := range []string{"sr8000-seq", "sr8000-rr"} {
+		b.Run(key, func(b *testing.B) {
+			var ring float64
+			for i := 0; i < b.N; i++ {
+				res, err := beff.MeasureBandwidth(key, 24, quickBW())
+				if err != nil {
+					b.Fatal(err)
+				}
+				ring = res.RingAtLmaxPerProc()
+			}
+			b.ReportMetric(ring/1e6, "ring@Lmax/proc-MB/s")
+		})
+	}
+}
+
+// BenchmarkAblationTwoPhase toggles collective buffering: the
+// mechanism behind pattern type 0's small-chunk advantage.
+func BenchmarkAblationTwoPhase(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "two-phase"
+		if disabled {
+			name = "independent"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := quickIO(15 * des.Second)
+			opt.Info = mpiio.Info{NoCollectiveBuffering: disabled}
+			var scatter float64
+			for i := 0; i < b.N; i++ {
+				res, err := beff.MeasureIO("cluster", 8, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scatter = res.Methods[beffio.InitialWrite].Types[beffio.Scatter].BW
+			}
+			b.ReportMetric(scatter/1e6, "scatter-write-MB/s")
+		})
+	}
+}
+
+// BenchmarkAblationTermination contrasts the per-iteration termination
+// check with the geometric batching §5.4 proposes.
+func BenchmarkAblationTermination(b *testing.B) {
+	for _, geo := range []bool{false, true} {
+		name := "per-iteration"
+		if geo {
+			name = "geometric"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := quickIO(15 * des.Second)
+			opt.GeometricBatching = geo
+			var v float64
+			for i := 0; i < b.N; i++ {
+				res, err := beff.MeasureIO("cluster", 8, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = res.BeffIO
+			}
+			b.ReportMetric(v/1e6, "beffio-MB/s")
+		})
+	}
+}
+
+// BenchmarkAblationEagerLimit moves the eager/rendezvous protocol
+// switch and watches mid-size message bandwidth respond.
+func BenchmarkAblationEagerLimit(b *testing.B) {
+	p, err := beff.LookupMachine("t3e")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, limit := range []int64{1 << 10, 16 << 10, 256 << 10} {
+		b.Run("limit="+itoa(int(limit>>10))+"k", func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				w, err := p.BuildWorld(16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.EagerLimit = limit
+				res, err := runCore(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = res.Beff
+			}
+			b.ReportMetric(v/1e6, "beff-MB/s")
+		})
+	}
+}
+
+// BenchmarkAblationCacheSize varies the write-behind cache and reports
+// the initial-write value — §5.4's cache-measurement discussion.
+func BenchmarkAblationCacheSize(b *testing.B) {
+	for _, cacheMB := range []int64{0, 16, 512} {
+		b.Run("cache="+itoa(int(cacheMB))+"MB", func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				res, err := measureIOWithCache(cacheMB << 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = res.Methods[beffio.InitialWrite].BW
+			}
+			b.ReportMetric(v/1e6, "write-MB/s")
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+// BenchmarkAblationAggregators sweeps the cb_nodes hint: too few
+// aggregators underuse the I/O servers, too many fragment the file
+// domains.
+func BenchmarkAblationAggregators(b *testing.B) {
+	for _, aggs := range []int{1, 4, 8} {
+		b.Run("cb_nodes="+itoa(aggs), func(b *testing.B) {
+			opt := quickIO(15 * des.Second)
+			opt.Info = mpiio.Info{Aggregators: aggs}
+			var scatter float64
+			for i := 0; i < b.N; i++ {
+				res, err := beff.MeasureIO("cluster", 8, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				scatter = res.Methods[beffio.InitialWrite].Types[beffio.Scatter].BW
+			}
+			b.ReportMetric(scatter/1e6, "scatter-write-MB/s")
+		})
+	}
+}
+
+// BenchmarkAblationBackgroundLoad measures b_eff_io on a non-dedicated
+// system: the paper's caveat that concurrent applications must not use
+// "a significant part of the I/O bandwidth", quantified.
+func BenchmarkAblationBackgroundLoad(b *testing.B) {
+	for _, load := range []float64{0, 0.25, 0.5} {
+		b.Run("load="+itoa(int(load*100))+"pct", func(b *testing.B) {
+			var v float64
+			for i := 0; i < b.N; i++ {
+				res, err := measureIOWithLoad(load)
+				if err != nil {
+					b.Fatal(err)
+				}
+				v = res.BeffIO
+			}
+			b.ReportMetric(v/1e6, "beffio-MB/s")
+		})
+	}
+}

@@ -1,0 +1,59 @@
+// Command balance reproduces Fig. 1: the balance factor b_eff / R_max
+// for every machine profile, as a horizontal bar chart.
+//
+// Usage:
+//
+//	balance
+//	balance -procs 16 -maxloop 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/report"
+)
+
+func main() {
+	var (
+		procsCap = flag.Int("procs", 24, "processor count per machine (capped by each profile's maximum)")
+		maxLoop  = flag.Int("maxloop", 4, "max looplength")
+	)
+	flag.Parse()
+
+	var rows []report.BalanceRow
+	for _, p := range machine.All() {
+		n := *procsCap
+		if n > p.MaxProcs {
+			n = p.MaxProcs
+		}
+		w, err := p.BuildWorld(n)
+		fatal(err)
+		res, err := core.Run(w, core.Options{
+			MemoryPerProc: p.MemoryPerProc,
+			MaxLooplength: *maxLoop,
+			Reps:          1,
+			SkipAnalysis:  true,
+		})
+		fatal(err)
+		rows = append(rows, report.BalanceRow{
+			System: p.Name,
+			Procs:  n,
+			Beff:   res.Beff,
+			RmaxGF: p.RmaxGF(n),
+		})
+		fmt.Fprintf(os.Stderr, "measured %s\n", p.Key)
+	}
+	fmt.Println()
+	fmt.Print(report.BalanceChart(rows))
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "balance:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+// Command beff runs the effective bandwidth benchmark on a simulated
+// machine profile and prints the Table-1 row plus, optionally, the
+// full measurement protocol.
+//
+// Usage:
+//
+//	beff -machine t3e -procs 64
+//	beff -machine sr8000-rr -procs 24 -protocol
+//	beff -machine sx5 -procs 4 -csv beff.csv
+//	beff -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/report"
+	"github.com/hpcbench/beff/internal/trace"
+)
+
+func main() {
+	var (
+		machineKey = flag.String("machine", "cluster", "machine profile key (see -list)")
+		configPath = flag.String("config", "", "JSON machine definition file (overrides -machine)")
+		procs      = flag.Int("procs", 8, "number of MPI processes")
+		maxLoop    = flag.Int("maxloop", 8, "max looplength (300 = paper-faithful; smaller = faster simulation)")
+		reps       = flag.Int("reps", 1, "repetitions per measurement (paper uses 3; the simulator is noise-free)")
+		seed       = flag.Int64("seed", 1, "seed for the random polygons")
+		protocol   = flag.Bool("protocol", false, "print the full measurement protocol")
+		csvPath    = flag.String("csv", "", "write the per-pattern/size/method data as CSV to this file")
+		skampi     = flag.String("skampi", "", "write SKaMPI-comparison-page records to this file")
+		tracePath  = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of every message to this file")
+		hotspots   = flag.Int("hotspots", 0, "print the N busiest network resources after the run")
+		list       = flag.Bool("list", false, "list machine profiles and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range machine.All() {
+			fmt.Printf("%-12s %s\n", p.Key, p)
+		}
+		return
+	}
+
+	p, err := loadProfile(*configPath, *machineKey)
+	fatal(err)
+	w, err := p.BuildWorld(*procs)
+	fatal(err)
+
+	var col *trace.Collector
+	if *tracePath != "" {
+		col = trace.New()
+		w.Net.SetOnTransfer(col.OnTransfer)
+	}
+
+	res, err := core.Run(w, core.Options{
+		MemoryPerProc: p.MemoryPerProc,
+		Seed:          *seed,
+		MaxLooplength: *maxLoop,
+		Reps:          *reps,
+	})
+	fatal(err)
+
+	fmt.Print(report.Table1([]report.Table1Row{report.FromBeff(p.Name, res)}))
+	fmt.Printf("\nbalance factor b_eff/R_max = %.4f bytes/flop (R_max %.0f GF)\n",
+		res.Beff/(p.RmaxGF(*procs)*1e9), p.RmaxGF(*procs))
+
+	if *protocol {
+		fmt.Println()
+		fmt.Print(report.BeffProtocol(res))
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		fatal(err)
+		fatal(report.BeffCSV(f, p.Key, res))
+		fatal(f.Close())
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+	if *skampi != "" {
+		f, err := os.Create(*skampi)
+		fatal(err)
+		fatal(report.SKaMPIBeff(f, p.Key, res))
+		fatal(f.Close())
+		fmt.Printf("wrote %s\n", *skampi)
+	}
+	if *hotspots > 0 {
+		stats := w.Net.HotResources(des.Time(des.DurationOf(res.Elapsed)), *hotspots)
+		fmt.Println()
+		fmt.Print(report.UtilizationTable(stats))
+	}
+	if col != nil {
+		f, err := os.Create(*tracePath)
+		fatal(err)
+		fatal(col.WriteChromeTrace(f))
+		fatal(f.Close())
+		fmt.Printf("wrote %s (%s)\n", *tracePath, col.Summarize())
+	}
+}
+
+// loadProfile resolves either a JSON definition or a built-in key.
+func loadProfile(configPath, key string) (*machine.Profile, error) {
+	if configPath != "" {
+		return machine.LoadConfig(configPath)
+	}
+	return machine.Lookup(key)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beff:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,147 @@
+// Command beffio runs the effective I/O bandwidth benchmark on a
+// simulated machine profile and prints the summary and, optionally,
+// the Fig.-4-style detail protocol.
+//
+// Usage:
+//
+//	beffio -machine sp -procs 32
+//	beffio -machine t3e -procs 16 -T 120 -detail
+//	beffio -machine sx5 -procs 4 -csv io.csv
+//	beffio -machine sp -sweep 8,16,32,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/mpi"
+	"github.com/hpcbench/beff/internal/mpiio"
+	"github.com/hpcbench/beff/internal/report"
+	"github.com/hpcbench/beff/internal/simfs"
+)
+
+func main() {
+	var (
+		machineKey = flag.String("machine", "cluster", "machine profile key (must have an I/O model)")
+		configPath = flag.String("config", "", "JSON machine definition file (overrides -machine)")
+		procs      = flag.Int("procs", 8, "number of I/O processes")
+		tSecs      = flag.Float64("T", 60, "scheduled time per partition in virtual seconds (paper: >= 900)")
+		geometric  = flag.Bool("geometric", false, "use geometric termination batching (the paper's §5.4 proposal)")
+		noCB       = flag.Bool("no-collective-buffering", false, "disable two-phase collective I/O (ablation)")
+		skipType3  = flag.Bool("skip-type3", false, "omit pattern type 3, as parts of the paper's own data do")
+		randomExt  = flag.Bool("random", false, "also measure the §6 random-access extension (reported separately)")
+		bgLoad     = flag.Float64("load", 0, "background I/O load fraction [0,1): non-dedicated-system mode")
+		detail     = flag.Bool("detail", false, "print the per-pattern protocol and Fig.-4-style chart")
+		csvPath    = flag.String("csv", "", "write the detail protocol as CSV to this file")
+		sweep      = flag.String("sweep", "", "comma-separated partition sizes; runs each and reports the system maximum")
+		maxReps    = flag.Int("maxreps", 1<<14, "cap repetitions per pattern (bounds simulation cost)")
+	)
+	flag.Parse()
+
+	var p *machine.Profile
+	var err error
+	if *configPath != "" {
+		p, err = machine.LoadConfig(*configPath)
+	} else {
+		p, err = machine.Lookup(*machineKey)
+	}
+	fatal(err)
+
+	opt := beffio.Options{
+		T:                   des.DurationOf(*tSecs),
+		MPart:               p.MPart(),
+		GeometricBatching:   *geometric,
+		Info:                mpiio.Info{NoCollectiveBuffering: *noCB},
+		MaxRepsPerPattern:   *maxReps,
+		MeasureRandomAccess: *randomExt,
+	}
+	if *skipType3 {
+		opt.SkipTypes = []beffio.PatternType{beffio.Segmented}
+	}
+
+	setup := func(n int) (mpi.WorldConfig, *simfs.FS, error) {
+		w, err := p.BuildIOWorld(n)
+		if err != nil {
+			return mpi.WorldConfig{}, nil, err
+		}
+		if p.FS == nil {
+			return mpi.WorldConfig{}, nil, fmt.Errorf("machine %s has no I/O model", p.Key)
+		}
+		fsCfg := *p.FS
+		fsCfg.BackgroundLoad = *bgLoad
+		fs, err := simfs.New(fsCfg)
+		return w, fs, err
+	}
+
+	if *sweep != "" {
+		sizes, err := parseSizes(*sweep)
+		fatal(err)
+		results, err := beffio.Sweep(setup, sizes, opt)
+		fatal(err)
+		series := report.Series{Name: p.Name, Points: map[int]float64{}}
+		for _, r := range results {
+			series.Points[r.Procs] = r.BeffIO
+		}
+		fmt.Print(report.SweepChart("b_eff_io over partition sizes (Fig. 3 / Fig. 5 shape)", []report.Series{series}))
+		best := beffio.SystemValue(results)
+		fmt.Printf("\nsystem b_eff_io = %.1f MB/s (at %d processes, T = %v)\n",
+			best.BeffIO/1e6, best.Procs, best.T)
+		return
+	}
+
+	w, fs, err := setup(*procs)
+	fatal(err)
+	res, err := beffio.Run(w, fs, opt)
+	fatal(err)
+
+	fmt.Printf("machine: %s   filesystem: %s\n", p.Name, fs.Config().Name)
+	fmt.Printf("b_eff_io = %.1f MB/s (%d processes, T = %v)\n", res.BeffIO/1e6, res.Procs, res.T)
+	for _, mr := range res.Methods {
+		fmt.Printf("  %-13v %9.1f MB/s\n", mr.Method, mr.BW/1e6)
+	}
+	if *detail {
+		fmt.Println()
+		fmt.Print(report.BeffIOProtocol(res))
+		fmt.Println()
+		fmt.Print(report.Fig4Chart(res))
+	}
+	if len(res.RandomAccess) > 0 {
+		fmt.Println("\nrandom-access extension (§6; not part of the b_eff_io average):")
+		for _, m := range res.RandomAccess {
+			fmt.Printf("  chunk %8d B: read %8.1f MB/s  write %8.1f MB/s\n",
+				m.Chunk, m.ReadBW/1e6, m.WriteBW/1e6)
+		}
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		fatal(err)
+		fatal(report.BeffIOCSV(f, p.Key, res))
+		fatal(f.Close())
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad partition size %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beffio:", err)
+		os.Exit(1)
+	}
+}

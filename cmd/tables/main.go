@@ -1,0 +1,323 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation from the simulated machines:
+//
+//	tables -table1      Table 1: b_eff across systems and sizes
+//	tables -fig1        Fig. 1: balance factors
+//	tables -fig3        Fig. 3: b_eff_io vs processes, T3E vs SP, several T
+//	tables -fig4        Fig. 4: per-pattern I/O detail, four systems
+//	tables -fig5        Fig. 5: final b_eff_io comparison
+//	tables -all         everything (EXPERIMENTS.md is generated from this)
+//
+// By default reduced processor counts keep simulated event counts
+// small; -full uses the paper's partition sizes (slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/mpi"
+	"github.com/hpcbench/beff/internal/report"
+	"github.com/hpcbench/beff/internal/simfs"
+)
+
+var (
+	full    = flag.Bool("full", false, "use the paper's processor counts (slow)")
+	maxLoop = flag.Int("maxloop", 2, "b_eff max looplength")
+	ioT     = flag.Float64("T", 45, "b_eff_io scheduled time per partition, virtual seconds")
+	csvDir  = flag.String("csvdir", "", "also write machine-readable CSV artifacts into this directory")
+)
+
+// writeCSV drops an experiment's data into the csvdir, if requested.
+func writeCSV(name string, header []string, rows [][]string) {
+	if *csvDir == "" {
+		return
+	}
+	if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(filepath.Join(*csvDir, name))
+	fatal(err)
+	fatal(report.CSV(f, header, rows))
+	fatal(f.Close())
+}
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "regenerate Table 1")
+		fig1   = flag.Bool("fig1", false, "regenerate Fig. 1")
+		fig3   = flag.Bool("fig3", false, "regenerate Fig. 3")
+		fig4   = flag.Bool("fig4", false, "regenerate Fig. 4")
+		fig5   = flag.Bool("fig5", false, "regenerate Fig. 5")
+		all    = flag.Bool("all", false, "regenerate everything")
+	)
+	flag.Parse()
+	if *all {
+		*table1, *fig1, *fig3, *fig4, *fig5 = true, true, true, true, true
+	}
+	if !*table1 && !*fig1 && !*fig3 && !*fig4 && !*fig5 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *table1 {
+		runTable1()
+	}
+	if *fig1 {
+		runFig1()
+	}
+	if *fig3 {
+		runFig3()
+	}
+	if *fig4 {
+		runFig4()
+	}
+	if *fig5 {
+		runFig5()
+	}
+}
+
+// table1Sizes lists the (machine, procs) pairs of Table 1; the quick
+// variant trims the largest partitions.
+func table1Sizes() []struct {
+	key   string
+	procs []int
+} {
+	if *full {
+		return []struct {
+			key   string
+			procs []int
+		}{
+			{"t3e", []int{512, 256, 128, 64, 24, 2}},
+			{"sr8000-rr", []int{128, 24}},
+			{"sr8000-seq", []int{24}},
+			{"sr2201", []int{16}},
+			{"sx5", []int{4}},
+			{"sx4", []int{16, 8, 4}},
+			{"hpv", []int{7}},
+			{"sv1", []int{15}},
+		}
+	}
+	return []struct {
+		key   string
+		procs []int
+	}{
+		{"t3e", []int{64, 24, 2}},
+		{"sr8000-rr", []int{24}},
+		{"sr8000-seq", []int{24}},
+		{"sr2201", []int{16}},
+		{"sx5", []int{4}},
+		{"sx4", []int{16, 8, 4}},
+		{"hpv", []int{7}},
+		{"sv1", []int{15}},
+	}
+}
+
+func beffFor(key string, procs int) (*machine.Profile, *core.Result) {
+	p, err := machine.Lookup(key)
+	fatal(err)
+	w, err := p.BuildWorld(procs)
+	fatal(err)
+	res, err := core.Run(w, core.Options{
+		MemoryPerProc: p.MemoryPerProc,
+		MaxLooplength: *maxLoop,
+		Reps:          1,
+		SkipAnalysis:  true,
+	})
+	fatal(err)
+	return p, res
+}
+
+func runTable1() {
+	fmt.Println("=== Table 1: Effective Benchmark Results ===")
+	var rows []report.Table1Row
+	for _, m := range table1Sizes() {
+		for _, n := range m.procs {
+			p, res := beffFor(m.key, n)
+			// Like the paper's table, quote the ping-pong only once
+			// per machine (it is measured within each partition; the
+			// largest is the representative one).
+			row := report.FromBeff(p.Name, res)
+			if n != m.procs[0] {
+				row.PingPong = 0
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(os.Stderr, "  measured %s @%d\n", m.key, n)
+		}
+	}
+	fmt.Print(report.Table1(rows))
+	fmt.Println()
+	var csv [][]string
+	for _, r := range rows {
+		csv = append(csv, []string{
+			r.System, fmt.Sprint(r.Procs),
+			fmt.Sprintf("%.1f", r.Beff/1e6),
+			fmt.Sprintf("%.1f", r.Beff/float64(r.Procs)/1e6),
+			fmt.Sprint(r.Lmax),
+			fmt.Sprintf("%.1f", r.PingPong/1e6),
+			fmt.Sprintf("%.1f", r.AtLmax/1e6),
+			fmt.Sprintf("%.1f", r.RingOnly/float64(r.Procs)/1e6),
+		})
+	}
+	writeCSV("table1.csv",
+		[]string{"system", "procs", "beff_mbps", "beff_per_proc", "lmax_bytes", "pingpong_mbps", "at_lmax_mbps", "ring_per_proc_mbps"},
+		csv)
+}
+
+func runFig1() {
+	fmt.Println("=== Figure 1: Balance factor ===")
+	var rows []report.BalanceRow
+	for _, m := range table1Sizes() {
+		n := m.procs[0]
+		p, res := beffFor(m.key, n)
+		rows = append(rows, report.BalanceRow{
+			System: p.Name, Procs: n, Beff: res.Beff, RmaxGF: p.RmaxGF(n),
+		})
+	}
+	fmt.Print(report.BalanceChart(rows))
+	fmt.Println()
+}
+
+func ioSetup(p *machine.Profile) beffio.PartitionSetup {
+	return func(n int) (mpi.WorldConfig, *simfs.FS, error) {
+		w, err := p.BuildIOWorld(n)
+		if err != nil {
+			return mpi.WorldConfig{}, nil, err
+		}
+		fs, err := p.BuildFS()
+		return w, fs, err
+	}
+}
+
+func runFig3() {
+	fmt.Println("=== Figure 3: b_eff_io vs partition size, T3E vs SP, several T ===")
+	sizes := []int{2, 4, 8, 16, 32}
+	if *full {
+		sizes = []int{8, 16, 32, 64, 128}
+	}
+	ts := []float64{*ioT / 2, *ioT, *ioT * 2}
+	var series []report.Series
+	for _, key := range []string{"t3e", "sp"} {
+		p, err := machine.Lookup(key)
+		fatal(err)
+		for _, t := range ts {
+			opt := beffio.Options{
+				T:     des.DurationOf(t),
+				MPart: p.MPart(),
+				// The paper's Fig. 3 data was "measured partially
+				// without pattern type 3".
+				SkipTypes:         []beffio.PatternType{beffio.Segmented},
+				MaxRepsPerPattern: 1 << 14,
+			}
+			results, err := beffio.Sweep(ioSetup(p), sizes, opt)
+			fatal(err)
+			s := report.Series{Name: fmt.Sprintf("%s T=%.0fs", p.Key, t), Points: map[int]float64{}}
+			for _, r := range results {
+				s.Points[r.Procs] = r.BeffIO
+			}
+			series = append(series, s)
+			fmt.Fprintf(os.Stderr, "  swept %s T=%.0fs\n", key, t)
+		}
+	}
+	fmt.Print(report.SweepChart("b_eff_io (MB/s) over number of I/O processes", series))
+	fmt.Println()
+	var csv [][]string
+	for _, s := range series {
+		for procs, v := range s.Points {
+			csv = append(csv, []string{s.Name, fmt.Sprint(procs), fmt.Sprintf("%.2f", v/1e6)})
+		}
+	}
+	writeCSV("fig3.csv", []string{"series", "procs", "beffio_mbps"}, csv)
+}
+
+func runFig4() {
+	fmt.Println("=== Figure 4: per-pattern bandwidth, three access methods, four systems ===")
+	procs := map[string]int{"sp": 8, "t3e": 16, "sr8000-seq": 8, "sx5": 4}
+	if *full {
+		procs = map[string]int{"sp": 64, "t3e": 32, "sr8000-seq": 16, "sx5": 4}
+	}
+	for _, key := range []string{"sp", "t3e", "sr8000-seq", "sx5"} {
+		p, err := machine.Lookup(key)
+		fatal(err)
+		w, fs, err := ioSetup(p)(procs[key])
+		fatal(err)
+		res, err := beffio.Run(w, fs, beffio.Options{
+			T:                 des.DurationOf(*ioT),
+			MPart:             p.MPart(),
+			MaxRepsPerPattern: 1 << 14,
+		})
+		fatal(err)
+		fmt.Printf("\n--- %s (%s) ---\n", p.Name, fs.Config().Name)
+		fmt.Print(report.BeffIOProtocol(res))
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(filepath.Join(*csvDir, "fig4_"+key+".csv"))
+			fatal(err)
+			fatal(report.BeffIOCSV(f, key, res))
+			fatal(f.Close())
+		}
+		fmt.Fprintf(os.Stderr, "  detailed %s\n", key)
+	}
+	fmt.Println()
+}
+
+func runFig5() {
+	fmt.Println("=== Figure 5: final b_eff_io comparison ===")
+	sizesFor := map[string][]int{
+		"sp":         {4, 8, 16},
+		"t3e":        {4, 8, 16},
+		"sr8000-seq": {4, 8},
+		"sx5":        {2, 4},
+	}
+	if *full {
+		sizesFor = map[string][]int{
+			"sp":         {16, 32, 64, 128},
+			"t3e":        {16, 32, 64, 128},
+			"sr8000-seq": {8, 16},
+			"sx5":        {4, 8},
+		}
+	}
+	var series []report.Series
+	for _, key := range []string{"sp", "t3e", "sr8000-seq", "sx5"} {
+		p, err := machine.Lookup(key)
+		fatal(err)
+		results, err := beffio.Sweep(ioSetup(p), sizesFor[key], beffio.Options{
+			T:                 des.DurationOf(*ioT),
+			MPart:             p.MPart(),
+			MaxRepsPerPattern: 1 << 14,
+		})
+		fatal(err)
+		s := report.Series{Name: p.Name, Points: map[int]float64{}}
+		for _, r := range results {
+			s.Points[r.Procs] = r.BeffIO
+		}
+		series = append(series, s)
+		best := beffio.SystemValue(results)
+		fmt.Printf("%-28s system b_eff_io = %8.1f MB/s (at %d procs)\n", p.Key, best.BeffIO/1e6, best.Procs)
+		fmt.Fprintf(os.Stderr, "  swept %s\n", key)
+	}
+	fmt.Println()
+	fmt.Print(report.SweepChart("b_eff_io (MB/s) per partition size", series))
+	fmt.Println()
+	var csv [][]string
+	for _, s := range series {
+		for procs, v := range s.Points {
+			csv = append(csv, []string{s.Name, fmt.Sprint(procs), fmt.Sprintf("%.2f", v/1e6)})
+		}
+	}
+	writeCSV("fig5.csv", []string{"series", "procs", "beffio_mbps"}, csv)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,92 @@
+package beff_test
+
+import (
+	"fmt"
+
+	"github.com/hpcbench/beff"
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/stats"
+)
+
+// The simulator is deterministic, so examples can assert exact output.
+
+func ExampleMeasureBandwidth() {
+	res, err := beff.MeasureBandwidth("cluster", 4, beff.BandwidthOptions{
+		MaxLooplength: 1, Reps: 1, SkipAnalysis: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d processes, L_max %d MB\n", res.Procs, res.Lmax>>20)
+	fmt.Printf("protocol: %d ring + %d random patterns x %d sizes x %d methods\n",
+		len(res.Ring), len(res.Random), len(res.Sizes), core.NumMethods)
+	// Output:
+	// 4 processes, L_max 4 MB
+	// protocol: 6 ring + 6 random patterns x 21 sizes x 3 methods
+}
+
+func ExampleMeasureIO() {
+	res, err := beff.MeasureIO("cluster", 2, beff.IOOptions{
+		T: 2 * des.Second, MaxRepsPerPattern: 32,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d access methods over %d pattern types\n",
+		len(res.Methods), len(res.Methods[0].Types))
+	fmt.Printf("segment size is a multiple of 1 MB: %v\n", res.SegmentSize%(1<<20) == 0)
+	// Output:
+	// 3 access methods over 5 pattern types
+	// segment size is a multiple of 1 MB: true
+}
+
+func ExampleBalanceFactor() {
+	p, _ := beff.LookupMachine("cluster")
+	res, err := beff.MeasureBandwidth("cluster", 4, beff.BandwidthOptions{
+		MaxLooplength: 1, Reps: 1, SkipAnalysis: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	bf := beff.BalanceFactor(p, res)
+	fmt.Printf("balance factor is positive and below 1 byte/flop: %v\n", bf > 0 && bf < 1)
+	// Output:
+	// balance factor is positive and below 1 byte/flop: true
+}
+
+func Example_ringSizes() {
+	// The paper's example: 7 processes at standard ring size 2 →
+	// rings {0,1}, {2,3}, {4,5,6}.
+	fmt.Println(core.RingSizes(7, 2))
+	fmt.Println(core.RingSizes(29, 8))
+	// Output:
+	// [2 2 3]
+	// [8 7 7 7]
+}
+
+func Example_table2() {
+	pats := beffio.Table2(2 << 20)
+	timed := 0
+	sumU := 0
+	for _, p := range pats {
+		sumU += p.U
+		if p.U > 0 {
+			timed++
+		}
+	}
+	fmt.Printf("%d patterns, %d timed, sum of U = %d\n", len(pats), timed, sumU)
+	// Output:
+	// 43 patterns, 36 timed, sum of U = 64
+}
+
+func Example_logAvg() {
+	// The b_eff combination rule: the logarithmic average punishes a
+	// weak pattern family harder than the arithmetic mean would.
+	fmt.Printf("%.1f\n", stats.LogAvg(100, 1))
+	fmt.Printf("%.1f\n", stats.Mean(100, 1))
+	// Output:
+	// 10.0
+	// 50.5
+}

@@ -1,0 +1,68 @@
+// Hero runs vs. shared usage: the paper's §5.2 observation that most
+// of the time "several applications are sharing the I/O nodes", while
+// rare "hero runs ... can require the full I/O performance by all
+// processors at the same time". This example measures the same machine
+// under three sharing regimes and shows what a production schedule
+// leaves of the dedicated-machine number.
+//
+//	go run ./examples/herorun
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/simfs"
+)
+
+func main() {
+	profile, err := machine.Lookup("sp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	regimes := []struct {
+		name string
+		load float64
+	}{
+		{"hero run (dedicated machine)", 0},
+		{"prime time (1/3 of I/O elsewhere)", 0.33},
+		{"heavily shared (2/3 elsewhere)", 0.66},
+	}
+	fmt.Printf("%s, 16 I/O nodes, T = 30 s virtual\n\n", profile.Name)
+	var hero float64
+	for _, reg := range regimes {
+		w, err := profile.BuildIOWorld(16)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := *profile.FS
+		cfg.BackgroundLoad = reg.load
+		fs, err := simfs.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := beffio.Run(w, fs, beffio.Options{
+			T:                 30 * des.Second,
+			MPart:             profile.MPart(),
+			MaxRepsPerPattern: 1 << 12,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if hero == 0 {
+			hero = res.BeffIO
+		}
+		fmt.Printf("%-36s b_eff_io = %7.1f MB/s  (%.0f%% of hero)\n",
+			reg.name, res.BeffIO/1e6, res.BeffIO/hero*100)
+	}
+	fmt.Println("\nAt this partition size the per-node I/O channels, not the shared")
+	fmt.Println("VSD servers, are the bottleneck — so even heavy background load on")
+	fmt.Println("the servers barely dents the measurement. That is the paper's §5")
+	fmt.Println("claim made concrete: \"it need not run on an empty system as long")
+	fmt.Println("as concurrently running other applications do not use a significant")
+	fmt.Println("part of the I/O bandwidth.\" Rerun with more I/O nodes (a hero-run")
+	fmt.Println("sized partition) and the same background load bites hard.")
+}

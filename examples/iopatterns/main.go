@@ -1,0 +1,113 @@
+// I/O patterns: compare the five b_eff_io pattern types on two
+// filesystem configurations — one with a large write-behind cache, one
+// nearly uncached — and watch the paper's Fig. 4 phenomena appear:
+// collective scattering wins at small chunks, non-wellformed chunks
+// collapse, and a big cache inflates measured bandwidth beyond the
+// disks' capability (§5.4).
+//
+//	go run ./examples/iopatterns
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/mpi"
+	"github.com/hpcbench/beff/internal/simfs"
+	"github.com/hpcbench/beff/internal/simnet"
+)
+
+const nprocs = 8
+
+func world() mpi.WorldConfig {
+	net := simnet.New(simnet.Config{
+		Fabric:           simnet.NewCrossbar(nprocs, 0, 5*des.Microsecond),
+		TxBandwidth:      400e6,
+		RxBandwidth:      400e6,
+		SendOverhead:     4 * des.Microsecond,
+		RecvOverhead:     4 * des.Microsecond,
+		MemCopyBandwidth: 2e9,
+	})
+	return mpi.WorldConfig{Net: net}
+}
+
+func fsConfig(cachePerServer int64) simfs.Config {
+	return simfs.Config{
+		Name:               fmt.Sprintf("8x40MB/s striped fs, %d MB cache/server", cachePerServer>>20),
+		Servers:            8,
+		StripeUnit:         512 << 10,
+		BlockSize:          64 << 10,
+		WriteBandwidth:     40e6,
+		ReadBandwidth:      45e6,
+		SeekTime:           5 * des.Millisecond,
+		RequestOverhead:    100 * des.Microsecond,
+		OpenCost:           2 * des.Millisecond,
+		CloseCost:          2 * des.Millisecond,
+		Clients:            nprocs,
+		CacheSizePerServer: cachePerServer,
+		MemoryBandwidth:    2e9,
+		AllocPerBlock:      30 * des.Microsecond,
+	}
+}
+
+func run(cache int64) *beffio.Result {
+	fs, err := simfs.New(fsConfig(cache))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := beffio.Run(world(), fs, beffio.Options{
+		T:                 20 * des.Second,
+		MPart:             2 << 20,
+		MaxRepsPerPattern: 1 << 12,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	small := run(4 << 20)   // 32 MB total cache
+	large := run(512 << 20) // 4 GB total cache, the SX-5 situation
+
+	fmt.Printf("disk hardware peak: 8 x 40 = 320 MB/s write\n\n")
+	fmt.Printf("%-34s %12s %12s\n", "", "small cache", "large cache")
+	fmt.Printf("%-34s %9.1f MB/s %9.1f MB/s\n", "b_eff_io", small.BeffIO/1e6, large.BeffIO/1e6)
+	for m := beffio.AccessMethod(0); m < beffio.NumMethods; m++ {
+		fmt.Printf("%-34s %9.1f MB/s %9.1f MB/s\n", m.String(),
+			small.Methods[m].BW/1e6, large.Methods[m].BW/1e6)
+	}
+
+	fmt.Printf("\npattern types under initial write (small cache):\n")
+	for _, tr := range small.Methods[beffio.InitialWrite].Types {
+		fmt.Printf("  %-38v %9.1f MB/s\n", tr.Type, tr.BW/1e6)
+	}
+
+	// Dig out the small-chunk contrast of Fig. 4: 1 kB chunks,
+	// collective-scatter vs separated-files.
+	write := small.Methods[beffio.InitialWrite]
+	var scatter1k, separate1k, wf32k, nwf32k float64
+	for _, pm := range write.Types[beffio.Scatter].Patterns {
+		if pm.Pattern.Num == 5 {
+			scatter1k = pm.BW
+		}
+	}
+	for _, pm := range write.Types[beffio.Separate].Patterns {
+		switch pm.Pattern.Num {
+		case 21:
+			separate1k = pm.BW
+		case 20:
+			wf32k = pm.BW
+		case 22:
+			nwf32k = pm.BW
+		}
+	}
+	fmt.Printf("\n1 kB disk chunks:  scattering %.1f MB/s vs separated files %.1f MB/s (%.0fx)\n",
+		scatter1k/1e6, separate1k/1e6, scatter1k/separate1k)
+	fmt.Printf("32 kB vs 32 kB+8B (non-wellformed), separated files: %.1f vs %.1f MB/s\n",
+		wf32k/1e6, nwf32k/1e6)
+	fmt.Printf("\nlarge-cache b_eff_io exceeding the 320 MB/s disk peak demonstrates the\n" +
+		"cache trap of §5.4: move 20x the cache size or you measure memory.\n")
+}

@@ -1,0 +1,57 @@
+// Quickstart: run the effective bandwidth benchmark (b_eff) on a small
+// simulated commodity cluster and print the headline numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/machine"
+)
+
+func main() {
+	// Pick a machine profile. Profiles bundle the interconnect model,
+	// memory size (which fixes the largest message, L_max), and the
+	// I/O subsystem.
+	profile, err := machine.Lookup("cluster")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build a 16-process world on it.
+	world, err := profile.BuildWorld(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run b_eff. The simulator is deterministic, so one repetition and
+	// a small looplength measure the same bandwidths the paper's
+	// 300-iteration, 3-repetition settings would.
+	res, err := core.Run(world, core.Options{
+		MemoryPerProc: profile.MemoryPerProc,
+		MaxLooplength: 4,
+		Reps:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("machine:        %s\n", profile.Name)
+	fmt.Printf("processes:      %d\n", res.Procs)
+	fmt.Printf("L_max:          %d bytes\n", res.Lmax)
+	fmt.Printf("b_eff:          %.1f MB/s (%.1f per process)\n", res.Beff/1e6, res.BeffPerProc()/1e6)
+	fmt.Printf("b_eff at L_max: %.1f MB/s (%.1f per process)\n", res.BeffAtLmax/1e6, res.AtLmaxPerProc()/1e6)
+	fmt.Printf("ping-pong:      %.1f MB/s\n", res.PingPong/1e6)
+	fmt.Printf("balance factor: %.4f bytes/flop\n", res.Beff/(profile.RmaxGF(res.Procs)*1e9))
+
+	// The protocol retains every measurement: e.g. how each method did
+	// on the full-size ring pattern at the largest message.
+	last := res.Ring[core.NumRingPatterns-1]
+	fmt.Printf("\nall-process ring at L_max, by method:\n")
+	for m := 0; m < core.NumMethods; m++ {
+		fmt.Printf("  %-12v %8.1f MB/s\n", core.Method(m), last.ByMethod[m][core.NumMessageSizes-1]/1e6)
+	}
+}

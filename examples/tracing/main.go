@@ -1,0 +1,60 @@
+// Tracing: attach the event collector to a machine and dissect where
+// the bytes of a b_eff ring measurement actually flow — per message,
+// per processor pair — then write a Chrome trace (chrome://tracing or
+// https://ui.perfetto.dev) of the whole run.
+//
+//	go run ./examples/tracing
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/trace"
+)
+
+func main() {
+	profile, err := machine.Lookup("t3e")
+	if err != nil {
+		log.Fatal(err)
+	}
+	world, err := profile.BuildWorld(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	col := trace.New()
+	world.Net.SetOnTransfer(col.OnTransfer)
+
+	res, err := core.Run(world, core.Options{
+		MemoryPerProc: profile.MemoryPerProc,
+		MaxLooplength: 2,
+		Reps:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("b_eff on %s @16: %.1f MB/s\n\n", profile.Name, res.Beff/1e6)
+
+	s := col.Summarize()
+	fmt.Println(s)
+	fmt.Printf("\naverage message: %.0f bytes; messages per virtual second: %.0f\n",
+		float64(s.MessageBytes)/float64(s.Messages),
+		float64(s.Messages)/s.Horizon.Seconds())
+
+	out := "beff_trace.json"
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := col.WriteChromeTrace(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s — open it in chrome://tracing or ui.perfetto.dev\n", out)
+}

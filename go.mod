@@ -1,0 +1,3 @@
+module github.com/hpcbench/beff
+
+go 1.22

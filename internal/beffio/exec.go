@@ -1,0 +1,281 @@
+package beffio
+
+import (
+	"github.com/hpcbench/beff/internal/mpi"
+	"github.com/hpcbench/beff/internal/mpiio"
+)
+
+// This file executes individual patterns: the per-type data layouts,
+// the time-driven repetition loops with global or process-local
+// termination, and the size-driven segmented types.
+
+// timeDrivenGlobal repeats doRep until the pattern's scheduled time is
+// exhausted, deciding termination the way the paper describes: the
+// clock is read at the root after a barrier and the decision is
+// broadcast, so all processes stop after the same iteration. With
+// GeometricBatching the repetitions between checks double (the §5.4
+// improvement); otherwise every iteration pays the synchronisation,
+// which §5.4 measures as a real distortion for fast small-chunk
+// patterns — reproduced faithfully here.
+func (st *runState) timeDrivenGlobal(p Pattern, doRep func(rep int)) int {
+	c := st.c
+	if p.U == 0 {
+		doRep(0)
+		return 1
+	}
+	allowed := st.allowedTime(p)
+	start := c.Wtime()
+	reps := 0
+	batch := 1
+	buf := make([]int64, 1)
+	for {
+		for k := 0; k < batch && reps < st.opt.MaxRepsPerPattern; k++ {
+			doRep(reps)
+			reps++
+		}
+		c.Barrier()
+		buf[0] = 0
+		if c.Rank() == 0 && (c.Wtime()-start >= allowed || reps >= st.opt.MaxRepsPerPattern) {
+			buf[0] = 1
+		}
+		c.BcastInt64(0, buf)
+		if buf[0] == 1 {
+			return reps
+		}
+		if st.opt.GeometricBatching {
+			batch *= 2
+		}
+	}
+}
+
+// timeDrivenLocal is the noncollective variant: each process checks its
+// own clock, so repetition counts may differ between processes (the
+// separated-files type).
+func (st *runState) timeDrivenLocal(p Pattern, doRep func(rep int)) int {
+	c := st.c
+	if p.U == 0 {
+		doRep(0)
+		return 1
+	}
+	allowed := st.allowedTime(p)
+	start := c.Wtime()
+	reps := 0
+	for c.Wtime()-start < allowed && reps < st.opt.MaxRepsPerPattern {
+		doRep(reps)
+		reps++
+	}
+	return reps
+}
+
+// sizeDriven repeats doRep a predetermined number of times (the
+// segmented types, whose extent was fixed when the segment size was
+// computed).
+func sizeDriven(reps int, doRep func(rep int)) int {
+	for r := 0; r < reps; r++ {
+		doRep(r)
+	}
+	return reps
+}
+
+// wrapFor bounds rewrite/read repositioning to the initially written
+// region of a pattern.
+func (st *runState) wrapFor(p Pattern, m AccessMethod) int {
+	if m == InitialWrite {
+		return 0 // no wrap: writing fresh data
+	}
+	if w := st.writtenReps[p.Num]; w > 0 {
+		return w
+	}
+	return 1
+}
+
+// runPattern executes one Table-2 pattern under one access method and
+// returns its measurement. idx is the pattern's position within its
+// type.
+func (st *runState) runPattern(f *mpiio.File, t PatternType, m AccessMethod, p Pattern, idx int) PatternMeasurement {
+	c := st.c
+	start := c.Wtime()
+	var reps int
+	var bytes int64
+	switch t {
+	case Scatter:
+		reps, bytes = st.runScatter(f, m, p)
+	case SharedColl:
+		reps, bytes = st.runShared(f, m, p)
+	case Separate:
+		reps, bytes = st.runSeparate(f, m, p)
+	case Segmented, SegmentedColl:
+		reps, bytes = st.runSegmented(f, t, m, p, idx)
+	}
+	el := c.Wtime() - start
+	secs := c.AllreduceFloat64(mpi.OpMax, []float64{el})[0]
+	pm := PatternMeasurement{Pattern: p, Reps: reps, Bytes: bytes, Seconds: secs}
+	if secs > 0 {
+		pm.BW = float64(bytes) / secs
+	}
+	return pm
+}
+
+// patOffset reports where a pattern's data region begins in its type's
+// file; the paper's footnote 1: "the alignment is implicitly defined
+// by the data written by all previous patterns in the same pattern
+// type". During the initial write the running cursor of the type is
+// used; afterwards the recorded region.
+func (st *runState) patOffset(p Pattern) int64 {
+	if b, ok := st.patOffsets[p.Num]; ok {
+		return b
+	}
+	return st.typeCursor[p.Type]
+}
+
+// nextOffset advances the type's cursor past a freshly written region.
+func (st *runState) nextOffset(p Pattern, end int64) {
+	st.typeCursor[p.Type] = end
+}
+
+// runScatter executes a type-0 pattern: a strided view interleaving
+// the processes' disk chunks, one collective call per memory chunk L.
+func (st *runState) runScatter(f *mpiio.File, m AccessMethod, p Pattern) (int, int64) {
+	c := st.c
+	n := int64(c.Size())
+	l, L := p.DiskChunk, p.MemChunk
+	base := st.patOffset(p)
+	if err := f.SetView(mpiio.View{
+		Disp:     base + int64(c.Rank())*l,
+		BlockLen: l,
+		Stride:   n * l,
+	}); err != nil {
+		c.Proc().Fail("beffio: scatter view: %v", err)
+	}
+	wrap := st.wrapFor(p, m)
+	doRep := func(rep int) {
+		pos := int64(rep)
+		if wrap > 0 {
+			pos = int64(rep % wrap)
+		}
+		f.SeekSet(pos * L)
+		if m == Read {
+			f.ReadAll(L)
+		} else {
+			f.WriteAll(L, nil)
+		}
+	}
+	reps := st.timeDrivenGlobal(p, doRep)
+	if m == InitialWrite {
+		st.writtenReps[p.Num] = reps
+		st.patOffsets[p.Num] = base
+		st.nextOffset(p, base+int64(reps)*L*n)
+	}
+	return reps, int64(reps) * L * n
+}
+
+// runShared executes a type-1 pattern: ordered collective accesses at
+// the shared file pointer, one call per disk chunk.
+func (st *runState) runShared(f *mpiio.File, m AccessMethod, p Pattern) (int, int64) {
+	c := st.c
+	n := int64(c.Size())
+	l := p.DiskChunk
+	base := st.patOffset(p)
+	f.SeekShared(base)
+	wrap := st.wrapFor(p, m)
+	doRep := func(rep int) {
+		if wrap > 0 && rep > 0 && rep%wrap == 0 {
+			f.SeekShared(base)
+		}
+		if m == Read {
+			f.ReadOrdered(l)
+		} else {
+			f.WriteOrdered(l, nil)
+		}
+	}
+	reps := st.timeDrivenGlobal(p, doRep)
+	if m == InitialWrite {
+		st.writtenReps[p.Num] = reps
+		st.patOffsets[p.Num] = base
+		st.nextOffset(p, base+int64(reps)*l*n)
+	}
+	return reps, int64(reps) * l * n
+}
+
+// runSeparate executes a type-2 pattern: each process writes its own
+// file noncollectively with process-local termination.
+func (st *runState) runSeparate(f *mpiio.File, m AccessMethod, p Pattern) (int, int64) {
+	c := st.c
+	l := p.DiskChunk
+	base := st.patOffset(p) // same layout in every process's file
+	f.SeekSet(base)
+	wrap := 0
+	if m != InitialWrite {
+		if w := st.myType2Reps[p.Num]; w > 0 {
+			wrap = w
+		} else {
+			wrap = 1
+		}
+	}
+	doRep := func(rep int) {
+		if wrap > 0 {
+			f.SeekSet(base + int64(rep%wrap)*l)
+		}
+		if m == Read {
+			f.Read(l)
+		} else {
+			f.Write(l, nil)
+		}
+	}
+	myReps := st.timeDrivenLocal(p, doRep)
+	maxReps := int(c.AllreduceInt64(mpi.OpMax, []int64{int64(myReps)})[0])
+	if m == InitialWrite {
+		st.myType2Reps[p.Num] = myReps
+		// The canonical region end uses the max across processes so
+		// every file's pattern regions stay aligned; processes with
+		// fewer repetitions leave holes, as the real benchmark does.
+		st.writtenReps[p.Num] = maxReps
+		st.patOffsets[p.Num] = base
+		st.nextOffset(p, base+int64(maxReps)*l)
+	}
+	total := c.AllreduceInt64(mpi.OpSum, []int64{int64(myReps) * l})[0]
+	return maxReps, total
+}
+
+// runSegmented executes type-3/4 patterns: each process owns one
+// contiguous segment of a common file; repetitions are size-driven
+// from the counts estimated off types 1-2.
+func (st *runState) runSegmented(f *mpiio.File, t PatternType, m AccessMethod, p Pattern, idx int) (int, int64) {
+	c := st.c
+	n := int64(c.Size())
+	seg := st.segmentSize
+	if err := f.SetView(mpiio.ContiguousView(int64(c.Rank()) * seg)); err != nil {
+		c.Proc().Fail("beffio: segmented view: %v", err)
+	}
+	inSegBase := st.segPatOffset(idx)
+	var l int64
+	var reps int
+	if p.DiskChunk == FillUp {
+		l = seg - inSegBase
+		reps = 1
+		if l <= 0 {
+			return 0, 0
+		}
+	} else {
+		l = p.DiskChunk
+		reps = st.segReps(idx)
+	}
+	doRep := func(rep int) {
+		f.SeekSet(inSegBase + int64(rep)*l)
+		switch {
+		case m == Read && t == SegmentedColl:
+			f.ReadAll(l)
+		case m == Read:
+			f.Read(l)
+		case t == SegmentedColl:
+			f.WriteAll(l, nil)
+		default:
+			f.Write(l, nil)
+		}
+	}
+	sizeDriven(reps, doRep)
+	if m == InitialWrite {
+		st.writtenReps[p.Num] = reps
+	}
+	return reps, int64(reps) * l * n
+}

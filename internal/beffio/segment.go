@@ -1,0 +1,69 @@
+package beffio
+
+// Segment-size machinery for the segmented pattern types (3 and 4).
+// The paper (§5.1, §5.4): "for each chunk size l, a repeating factor is
+// calculated from the measured repeating factors of the pattern types
+// 0-2. The segment size is calculated as the sum of the chunk sizes
+// multiplied by these repeating factors. The sum is rounded up to the
+// next multiple of 1 MB." The time-driven loop is replaced by a
+// size-driven one so every process writes exactly one segment.
+
+// computeSegmentSize fixes the per-row repetition counts and offsets
+// once, during the initial write, before the first segmented pattern
+// runs. defs are the type-3 patterns (8 chunk rows plus the fill-up).
+func (st *runState) computeSegmentSize(defs []Pattern) {
+	if st.segmentSize > 0 {
+		return
+	}
+	nRows := len(defs) - 1 // last is fill-up
+	st.segRowReps = make([]int, nRows)
+	st.segRowOffs = make([]int64, nRows+1)
+	var cur int64
+	for i := 0; i < nRows; i++ {
+		p := defs[i]
+		est := 1
+		if p.U > 0 {
+			// Rows of types 1 and 2 with the same chunk sizes are at
+			// fixed numbering distance (type 1 starts at 9, type 2 at
+			// 17, type 3 at 25).
+			r1 := st.writtenReps[p.Num-16]
+			r2 := st.writtenReps[p.Num-8]
+			est = (r1 + r2) / 2
+			if est < 1 {
+				est = 1
+			}
+			if est > st.opt.MaxRepsPerPattern {
+				est = st.opt.MaxRepsPerPattern
+			}
+		}
+		st.segRowReps[i] = est
+		st.segRowOffs[i] = cur
+		cur += p.DiskChunk * int64(est)
+	}
+	st.segRowOffs[nRows] = cur
+	// Round up to the next multiple of 1 MB; the remainder becomes the
+	// fill-up pattern's write. An exact multiple still gets a minimal
+	// fill-up so the pattern is exercised.
+	seg := (cur + mB - 1) / mB * mB
+	if seg == cur {
+		seg += mB
+	}
+	st.segmentSize = seg
+}
+
+// segReps reports the size-driven repetition count of a segmented row.
+func (st *runState) segReps(idx int) int {
+	if idx < len(st.segRowReps) {
+		return st.segRowReps[idx]
+	}
+	return 1
+}
+
+// segPatOffset reports where a segmented row's data begins within each
+// process's segment.
+func (st *runState) segPatOffset(idx int) int64 {
+	if idx < len(st.segRowOffs) {
+		return st.segRowOffs[idx]
+	}
+	return 0
+}

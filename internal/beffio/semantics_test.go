@@ -1,0 +1,125 @@
+package beffio
+
+// Semantics tests: properties of the benchmark protocol that Table 2's
+// definition implies but that are easy to break silently — every
+// method must move data, the segmented layout must fill its segments
+// exactly, rewrite must benefit from pre-allocated blocks, and the
+// read interval must move a sane volume.
+
+import (
+	"testing"
+
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/simfs"
+)
+
+func TestEveryMethodAndTypeMovesData(t *testing.T) {
+	res, err := Run(testWorld(2), testFS(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mr := range res.Methods {
+		for _, tr := range mr.Types {
+			if tr.Bytes <= 0 {
+				t.Errorf("%v/%v moved nothing", mr.Method, tr.Type)
+			}
+		}
+	}
+}
+
+func TestSegmentedFilesFillSegmentsExactly(t *testing.T) {
+	// After the fill-up pattern, the segmented files must be exactly
+	// procs * segmentSize long — that is what "segmented" means.
+	fs := testFS()
+	opt := quickOpts()
+	opt.KeepFiles = true
+	const n = 4
+	res, err := Run(testWorld(n), fs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SegmentSize <= 0 {
+		t.Fatal("no segment size")
+	}
+	want := int64(n) * res.SegmentSize
+	eng := des.NewEngine()
+	err = eng.Run(1, func(p *des.Proc) {
+		for _, name := range []string{"beffio_type3", "beffio_type4"} {
+			f := fs.Open(p, name)
+			if f.Size() != want {
+				t.Errorf("%s size %d, want %d (%d segments of %d)",
+					name, f.Size(), want, n, res.SegmentSize)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewriteTimingBenefitsFromAllocation(t *testing.T) {
+	// With a strong allocation cost and no cache, rewrite must beat
+	// the initial write on the same patterns.
+	cfg := testFS().Config()
+	cfg.AllocPerBlock = 200 * des.Microsecond
+	cfg.CacheSizePerServer = 0
+	cfg.MemoryBandwidth = 0
+	fs, err := simfs.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(testWorld(2), fs, quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := res.Methods[InitialWrite].BW
+	rw := res.Methods[Rewrite].BW
+	if rw <= w {
+		t.Errorf("rewrite (%.1f) should beat initial write (%.1f) when allocation costs", rw/1e6, w/1e6)
+	}
+}
+
+func TestReadMethodMovesAsScheduled(t *testing.T) {
+	// The read interval gets T/3 like the write intervals; with
+	// identical hardware rates its byte volume should be within an
+	// order of magnitude of the write interval's.
+	res, err := Run(testWorld(2), testFS(), quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wb, rb int64
+	for _, tr := range res.Methods[InitialWrite].Types {
+		wb += tr.Bytes
+	}
+	for _, tr := range res.Methods[Read].Types {
+		rb += tr.Bytes
+	}
+	if rb <= 0 || wb <= 0 {
+		t.Fatal("no traffic")
+	}
+	ratio := float64(rb) / float64(wb)
+	if ratio < 0.1 || ratio > 20 {
+		t.Errorf("read/write byte ratio %.2f implausible", ratio)
+	}
+}
+
+func TestSchedulesRespectT(t *testing.T) {
+	// Doubling T should roughly double the moved bytes (time-driven
+	// design) without changing the bandwidths wildly.
+	short, err := Run(testWorld(2), testFS(), Options{T: 2 * des.Second, MPart: 2 * mB, MaxRepsPerPattern: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := Run(testWorld(2), testFS(), Options{T: 4 * des.Second, MPart: 2 * mB, MaxRepsPerPattern: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byteRatio := float64(long.TotalBytes) / float64(short.TotalBytes)
+	if byteRatio < 1.2 || byteRatio > 4 {
+		t.Errorf("2x T moved %.2fx bytes, want roughly 2x", byteRatio)
+	}
+	bwRatio := long.BeffIO / short.BeffIO
+	if bwRatio < 0.5 || bwRatio > 2 {
+		t.Errorf("bandwidth should be T-stable, ratio %.2f", bwRatio)
+	}
+}

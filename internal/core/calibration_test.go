@@ -1,0 +1,107 @@
+package core
+
+// Calibration regression net: every Table-1 machine row must stay
+// within a band around the paper's published values. The bands are
+// deliberately loose (shape, not absolute numbers), but they catch any
+// future change to the engine, network model or profiles that would
+// silently break a reproduced row.
+
+import (
+	"testing"
+)
+
+type calibRow struct {
+	key            string
+	procs          int
+	ringLo, ringHi float64 // ring patterns @ Lmax per proc, MB/s
+	beffLo, beffHi float64 // b_eff per proc, MB/s
+}
+
+// Bands bracket the paper's Table 1 values with ±50-ish% headroom.
+var calibration = []calibRow{
+	{"t3e", 24, 100, 280, 35, 110},        // paper: ring 205, b_eff/p 63
+	{"t3e", 2, 140, 260, 55, 140},         // paper: ring 210, b_eff/p 91
+	{"sr8000-rr", 24, 55, 180, 20, 85},    // paper: ring 110, b_eff/p 38
+	{"sr8000-seq", 24, 220, 560, 45, 145}, // paper: ring 400, b_eff/p 75
+	{"sr2201", 16, 50, 150, 18, 62},       // paper: ring 96,  b_eff/p 33
+	{"sx5", 4, 4500, 12500, 700, 2600},    // paper: ring 8758, b_eff/p 1360
+	{"sx4", 8, 1800, 5500, 320, 1250},     // paper: ring 3552, b_eff/p 641
+	{"hpv", 7, 85, 250, 30, 98},           // paper: ring 162, b_eff/p 62
+	{"sv1", 15, 190, 560, 50, 230},        // paper: ring 375, b_eff/p 96
+}
+
+func TestTable1CalibrationBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full calibration sweep")
+	}
+	for _, row := range calibration {
+		row := row
+		t.Run(row.key, func(t *testing.T) {
+			res := runProfile(t, row.key, row.procs, Options{
+				MaxLooplength: 2, Reps: 1, SkipAnalysis: true,
+			})
+			ring := res.RingAtLmaxPerProc() / 1e6
+			if ring < row.ringLo || ring > row.ringHi {
+				t.Errorf("%s@%d ring@Lmax/proc = %.0f MB/s, band [%.0f, %.0f]",
+					row.key, row.procs, ring, row.ringLo, row.ringHi)
+			}
+			bp := res.BeffPerProc() / 1e6
+			if bp < row.beffLo || bp > row.beffHi {
+				t.Errorf("%s@%d b_eff/proc = %.0f MB/s, band [%.0f, %.0f]",
+					row.key, row.procs, bp, row.beffLo, row.beffHi)
+			}
+		})
+	}
+}
+
+func TestPingPongCalibrationBands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	// Vendor ping-pong columns where the paper has them. Measured on
+	// the machine's smallest interesting partition; the SR 8000 rows
+	// need enough processes for the numbering to matter.
+	cases := []struct {
+		key    string
+		procs  int
+		lo, hi float64
+	}{
+		{"t3e", 2, 260, 420},          // paper 330
+		{"sr8000-seq", 16, 780, 1150}, // paper 954
+		{"sr8000-rr", 16, 620, 950},   // paper 776
+		{"sv1", 15, 780, 1250},        // paper 994
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.key, func(t *testing.T) {
+			res := runProfile(t, c.key, c.procs, Options{
+				MaxLooplength: 1, Reps: 1, SkipAnalysis: true,
+			})
+			pp := res.PingPong / 1e6
+			if pp < c.lo || pp > c.hi {
+				t.Errorf("%s ping-pong = %.0f MB/s, band [%.0f, %.0f]", c.key, pp, c.lo, c.hi)
+			}
+		})
+	}
+}
+
+func TestSharedMemoryPerProcFlatness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	// Table 1 shows the SX-4's per-processor values nearly flat in
+	// partition size (3552/3552/3141 at 4/8/16): the port, not a
+	// shared resource, must be the binding constraint.
+	var perProc []float64
+	for _, n := range []int{4, 8, 16} {
+		res := runProfile(t, "sx4", n, Options{MaxLooplength: 1, Reps: 1, SkipAnalysis: true})
+		perProc = append(perProc, res.RingAtLmaxPerProc())
+	}
+	if perProc[0] <= 0 {
+		t.Fatal("no data")
+	}
+	drop := perProc[2] / perProc[0]
+	if drop < 0.75 {
+		t.Errorf("SX-4 per-proc ring dropped to %.0f%% from 4 to 16 procs; Table 1 is nearly flat", drop*100)
+	}
+}

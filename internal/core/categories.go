@@ -1,0 +1,100 @@
+package core
+
+import "github.com/hpcbench/beff/internal/stats"
+
+// The paper: "it is as same important, that all measured patterns are
+// reported in the benchmark protocol and summarized in several
+// categories (see Table 1) to allow a detailed analysis of a
+// communication system." This file computes those category summaries
+// from a Result.
+
+// SizeClass buckets the 21 message sizes.
+type SizeClass int
+
+const (
+	// SmallMessages are the latency-bound sizes, 1 B – 4 kB (the 13
+	// fixed sizes).
+	SmallMessages SizeClass = iota
+	// MediumMessages are the protocol-transition sizes, 4 kB – 256 kB.
+	MediumMessages
+	// LargeMessages are the bandwidth-bound sizes above 256 kB.
+	LargeMessages
+	numSizeClasses
+)
+
+func (s SizeClass) String() string {
+	switch s {
+	case SmallMessages:
+		return "small (<=4kB)"
+	case MediumMessages:
+		return "medium (4kB-256kB)"
+	case LargeMessages:
+		return "large (>256kB)"
+	}
+	return "?"
+}
+
+func classOf(size int64) SizeClass {
+	switch {
+	case size <= 4<<10:
+		return SmallMessages
+	case size <= 256<<10:
+		return MediumMessages
+	default:
+		return LargeMessages
+	}
+}
+
+// CategorySummary condenses the full protocol into the analysis
+// categories: pattern family × size class, plus per-method averages
+// that show which MPI path the machine prefers.
+type CategorySummary struct {
+	// Ring[c] / Random[c] are the mean best-method bandwidths of the
+	// family restricted to size class c, in bytes/s.
+	Ring   [3]float64
+	Random [3]float64
+	// ByMethod[m] is the mean bandwidth over every pattern and size
+	// when only method m is used: the penalty for a library that
+	// implements just one path.
+	ByMethod [NumMethods]float64
+}
+
+// Categories computes the summary from a completed result.
+func (r *Result) Categories() CategorySummary {
+	var cs CategorySummary
+	var ringVals, randVals [numSizeClasses][]float64
+	var methodVals [NumMethods][]float64
+	collect := func(prs []PatternResult, bucket *[numSizeClasses][]float64) {
+		for _, pr := range prs {
+			for si, L := range r.Sizes {
+				c := classOf(L)
+				bucket[c] = append(bucket[c], pr.Best[si])
+				for m := 0; m < NumMethods; m++ {
+					methodVals[m] = append(methodVals[m], pr.ByMethod[m][si])
+				}
+			}
+		}
+	}
+	collect(r.Ring, &ringVals)
+	collect(r.Random, &randVals)
+	for c := 0; c < int(numSizeClasses); c++ {
+		cs.Ring[c] = stats.Mean(ringVals[c]...)
+		cs.Random[c] = stats.Mean(randVals[c]...)
+	}
+	for m := 0; m < NumMethods; m++ {
+		cs.ByMethod[m] = stats.Mean(methodVals[m]...)
+	}
+	return cs
+}
+
+// PreferredMethod reports which communication method gave the best
+// overall average — the path the machine's MPI favours.
+func (cs CategorySummary) PreferredMethod() Method {
+	best := Method(0)
+	for m := Method(1); m < Method(NumMethods); m++ {
+		if cs.ByMethod[m] > cs.ByMethod[best] {
+			best = m
+		}
+	}
+	return best
+}

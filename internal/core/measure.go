@@ -1,0 +1,127 @@
+package core
+
+import (
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/mpi"
+)
+
+// Method is one of the three ways b_eff programs each pattern; the
+// benchmark takes the maximum over them so the result does not depend
+// on which MPI path a vendor optimised.
+type Method int
+
+const (
+	// MethodSendrecv issues two blocking MPI_Sendrecv per iteration:
+	// first towards the left neighbour, then towards the right.
+	MethodSendrecv Method = iota
+	// MethodAlltoallv expresses the ring exchange as one sparse
+	// MPI_Alltoallv call.
+	MethodAlltoallv
+	// MethodNonblocking posts both receives and both sends and waits
+	// on all four.
+	MethodNonblocking
+	numMethods
+)
+
+// NumMethods is the number of communication methods b_eff compares.
+const NumMethods = int(numMethods)
+
+func (m Method) String() string {
+	switch m {
+	case MethodSendrecv:
+		return "Sendrecv"
+	case MethodAlltoallv:
+		return "Alltoallv"
+	case MethodNonblocking:
+		return "nonblocking"
+	}
+	return "?"
+}
+
+const (
+	tagToLeft  = 101
+	tagToRight = 102
+)
+
+// exchange performs one iteration of the pattern's communication for
+// one process: a message of L bytes to each ring neighbour and the two
+// matching receives.
+func exchange(c *mpi.Comm, nb Neighbors, L int64, m Method) {
+	if !nb.InRing {
+		if m == MethodAlltoallv {
+			// Alltoallv is collective: even idle processes participate.
+			n := c.Size()
+			zero := make([]int64, n)
+			c.AlltoallvBytes(zero, zero)
+		}
+		return
+	}
+	switch m {
+	case MethodSendrecv:
+		// "Afterwards it sends a message back to its right neighbor":
+		// the two transfers are issued one after the other.
+		c.SendrecvBytes(nb.Left, tagToLeft, L, nb.Right, tagToLeft)
+		c.SendrecvBytes(nb.Right, tagToRight, L, nb.Left, tagToRight)
+	case MethodAlltoallv:
+		n := c.Size()
+		send := make([]int64, n)
+		recv := make([]int64, n)
+		send[nb.Left] += L
+		send[nb.Right] += L
+		recv[nb.Left] += L
+		recv[nb.Right] += L
+		c.AlltoallvBytes(send, recv)
+	case MethodNonblocking:
+		reqs := []*mpi.Request{
+			c.IrecvBytes(nb.Right, tagToLeft),
+			c.IrecvBytes(nb.Left, tagToRight),
+			c.IsendBytes(nb.Left, tagToLeft, L),
+			c.IsendBytes(nb.Right, tagToRight, L),
+		}
+		c.Waitall(reqs)
+	}
+}
+
+// measureOnce runs the pattern looplength times with the given message
+// size and method, and returns the maximum per-process time in seconds
+// (the b_eff timing rule).
+func measureOnce(c *mpi.Comm, p *Pattern, L int64, m Method, looplength int) float64 {
+	c.Barrier()
+	t0 := c.Wtime()
+	nb := p.NB[c.Rank()]
+	for k := 0; k < looplength; k++ {
+		exchange(c, nb, L, m)
+	}
+	el := c.Wtime() - t0
+	return c.AllreduceFloat64(mpi.OpMax, []float64{el})[0]
+}
+
+// loopTarget is the midpoint of the paper's 2.5–5 ms window for one
+// timing loop.
+const loopTarget = 3750 * des.Microsecond
+
+// nextLooplength adapts the repetition count so the next loop lands in
+// the timing window, clamped to [1, maxLL].
+func nextLooplength(cur int, measured float64, maxLL int) int {
+	if measured <= 0 {
+		return maxLL
+	}
+	perIter := measured / float64(cur)
+	want := int(loopTarget.Seconds() / perIter)
+	if want < 1 {
+		want = 1
+	}
+	if want > maxLL {
+		want = maxLL
+	}
+	return want
+}
+
+// bandwidth applies the b_eff bandwidth formula:
+// b = L * totalMessages * looplength / maxTime.
+func bandwidth(L int64, totalMsgs, looplength int, maxTime float64) float64 {
+	if maxTime <= 0 {
+		return 0
+	}
+	return float64(L) * float64(totalMsgs) * float64(looplength) / maxTime
+}

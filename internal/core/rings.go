@@ -1,0 +1,185 @@
+// Package core implements the effective bandwidth benchmark b_eff —
+// the paper's first contribution. All MPI processes communicate with
+// ring neighbours in parallel over six ring patterns and six
+// random-polygon patterns, across 21 message sizes from 1 byte to
+// L_max = memory-per-processor/128, with three communication methods
+// (MPI_Sendrecv, MPI_Alltoallv, nonblocking Isend/Irecv/Waitall). The
+// result reduces to a single number via the prescribed
+// max-over-reps/max-over-methods/mean-over-sizes/log-avg-over-patterns
+// rule, plus a detailed protocol and additional analysis patterns.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RingSizes partitions n processes into rings of standard size std,
+// following the rules of the paper's ring_numbers.c:
+//
+//   - n < 2*std: one ring of n;
+//   - remainder r = n mod std with r <= std/2: r rings grow to std+1;
+//   - larger remainders: std-r rings shrink to std-1 (this is why the
+//     size-8 rule "cannot be used for less than 29 processes": 29 =
+//     3*8 + 5 is the smallest count with three rings left to shrink).
+//
+// Regular rings come first, adjusted rings last, matching the paper's
+// examples (7 processes at std 2 → rings 2, 2, 3).
+func RingSizes(n, std int) []int {
+	if n < 1 {
+		return nil
+	}
+	if std < 2 {
+		std = 2
+	}
+	if n < 2*std {
+		return []int{n}
+	}
+	k := n / std
+	rem := n % std
+	switch {
+	case rem == 0:
+		return repeatInts(std, k)
+	case rem <= std/2 && rem <= k:
+		// rem rings of std+1 at the end.
+		sizes := repeatInts(std, k-rem)
+		return append(sizes, repeatInts(std+1, rem)...)
+	case rem > std/2 && k >= std-rem:
+		// std-rem rings of std-1 at the end.
+		d := std - rem
+		sizes := repeatInts(std, k-d+1)
+		return append(sizes, repeatInts(std-1, d)...)
+	default:
+		// No partition with ring sizes in [std-1, std+1] exists (e.g.
+		// 19 processes at standard size 8): fall back to a single ring.
+		return []int{n}
+	}
+}
+
+func repeatInts(v, count int) []int {
+	out := make([]int, count)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// StandardRingSize returns the standard ring size of the six b_eff ring
+// patterns for an n-process run, indexed 0..5.
+func StandardRingSize(pattern, n int) int {
+	switch pattern {
+	case 0:
+		return 2
+	case 1:
+		return 4
+	case 2:
+		return 8
+	case 3:
+		return minInt(maxInt(16, n/4), n)
+	case 4:
+		return minInt(maxInt(32, n/2), n)
+	case 5:
+		return n
+	}
+	panic(fmt.Sprintf("core: no ring pattern %d", pattern))
+}
+
+// NumRingPatterns is the number of ring patterns (and of random
+// patterns) b_eff measures.
+const NumRingPatterns = 6
+
+// Neighbors is one process's ring neighbourhood within a pattern: the
+// next and previous member of its ring. InRing is false for a process
+// in a one-element ring (it does not communicate).
+type Neighbors struct {
+	Left, Right int
+	InRing      bool
+}
+
+// Pattern is one communication graph: every process paired with its
+// ring neighbours. Patterns are the unit b_eff averages over.
+type Pattern struct {
+	Name      string
+	Random    bool
+	RingSizes []int
+	// NB[rank] are the communicator-rank neighbours of each process.
+	NB []Neighbors
+	// TotalMsgs is the number of messages one iteration moves: every
+	// member of a ring of size >= 2 sends two.
+	TotalMsgs int
+}
+
+// buildPattern lays the processes listed in order into consecutive
+// rings of the given sizes.
+func buildPattern(name string, sizes []int, order []int, random bool) *Pattern {
+	n := len(order)
+	p := &Pattern{Name: name, Random: random, RingSizes: sizes, NB: make([]Neighbors, n)}
+	start := 0
+	for _, sz := range sizes {
+		members := order[start : start+sz]
+		if sz >= 2 {
+			p.TotalMsgs += 2 * sz
+			for i, r := range members {
+				p.NB[r] = Neighbors{
+					Left:   members[(i-1+sz)%sz],
+					Right:  members[(i+1)%sz],
+					InRing: true,
+				}
+			}
+		} else {
+			p.NB[members[0]] = Neighbors{InRing: false}
+		}
+		start += sz
+	}
+	if start != n {
+		panic(fmt.Sprintf("core: ring sizes %v do not cover %d processes", sizes, n))
+	}
+	return p
+}
+
+// RingPatterns builds the six sorted-rank ring patterns for n
+// processes.
+func RingPatterns(n int) []*Pattern {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	out := make([]*Pattern, 0, NumRingPatterns)
+	for pat := 0; pat < NumRingPatterns; pat++ {
+		std := StandardRingSize(pat, n)
+		sizes := RingSizes(n, std)
+		out = append(out, buildPattern(
+			fmt.Sprintf("ring std=%d", std), sizes, order, false))
+	}
+	return out
+}
+
+// RandomPatterns builds the six random-polygon patterns: the same ring
+// partitions, but the processes are sorted by random ranks. The seed
+// makes runs reproducible; each pattern uses a distinct stream.
+func RandomPatterns(n int, seed int64) []*Pattern {
+	out := make([]*Pattern, 0, NumRingPatterns)
+	for pat := 0; pat < NumRingPatterns; pat++ {
+		std := StandardRingSize(pat, n)
+		sizes := RingSizes(n, std)
+		rng := rand.New(rand.NewSource(seed + int64(pat)*7919))
+		order := rng.Perm(n)
+		out = append(out, buildPattern(
+			fmt.Sprintf("random std=%d", std), sizes, order, true))
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+func TestRingSizesPaperExamples(t *testing.T) {
+	cases := []struct {
+		n, std int
+		want   string
+	}{
+		// "if MPI_COMM_WORLD has 7 processes, then 0&1, 2&3, 4&5&6".
+		{7, 2, "[2 2 3]"},
+		{2, 2, "[2]"},
+		{3, 2, "[3]"},
+		{4, 2, "[2 2]"},
+		{6, 2, "[2 2 2]"},
+		// std 4: "last rings may have sizes 1*3, 1*5, or 2*5; n<=7 one ring".
+		{7, 4, "[7]"},
+		{6, 4, "[6]"},
+		{8, 4, "[4 4]"},
+		{9, 4, "[4 5]"},
+		{10, 4, "[5 5]"},
+		{11, 4, "[4 4 3]"},
+		{12, 4, "[4 4 4]"},
+		{13, 4, "[4 4 5]"},
+		// std 8: "last rings 3*7 ... 1*7, 1*9 ... 4*9; not for n<29".
+		{29, 8, "[8 7 7 7]"},
+		{30, 8, "[8 8 7 7]"},
+		{31, 8, "[8 8 8 7]"},
+		{32, 8, "[8 8 8 8]"},
+		{33, 8, "[8 8 8 9]"},
+		{36, 8, "[9 9 9 9]"},
+		{15, 8, "[15]"},
+		{16, 8, "[8 8]"},
+		// Fallback: cannot borrow enough rings.
+		{21, 8, "[21]"}, // rem 5 needs 3 shrinkable rings, only 2
+	}
+	for _, c := range cases {
+		got := fmt.Sprint(RingSizes(c.n, c.std))
+		if got != c.want {
+			t.Errorf("RingSizes(%d,%d) = %v, want %v", c.n, c.std, got, c.want)
+		}
+	}
+}
+
+func TestRingSizesProperties(t *testing.T) {
+	f := func(nRaw uint16, stdSel uint8) bool {
+		n := int(nRaw)%600 + 1
+		stds := []int{2, 4, 8, 16, 32}
+		std := stds[int(stdSel)%len(stds)]
+		sizes := RingSizes(n, std)
+		sum := 0
+		for _, s := range sizes {
+			sum += s
+			if s < 1 {
+				return false
+			}
+			// Unless it is the single fallback ring, sizes stay within
+			// one of the standard size.
+			if len(sizes) > 1 && (s < std-1 || s > std+1) {
+				return false
+			}
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStandardRingSizes(t *testing.T) {
+	n := 512
+	want := []int{2, 4, 8, 128, 256, 512}
+	for pat, w := range want {
+		if got := StandardRingSize(pat, n); got != w {
+			t.Errorf("pattern %d std = %d, want %d", pat, got, w)
+		}
+	}
+	// Small system: patterns 3..5 clamp.
+	if StandardRingSize(3, 8) != 8 {
+		t.Error("pattern 3 at n=8 should clamp to 8 (min(max(16,2),8))")
+	}
+	if StandardRingSize(4, 16) != 16 {
+		t.Error("pattern 4 at n=16 should clamp")
+	}
+}
+
+func TestBuildPatternNeighbors(t *testing.T) {
+	order := []int{0, 1, 2, 3, 4, 5, 6}
+	p := buildPattern("x", []int{2, 2, 3}, order, false)
+	// Ring {0,1}: each is both left and right of the other.
+	if p.NB[0].Left != 1 || p.NB[0].Right != 1 || !p.NB[0].InRing {
+		t.Errorf("NB[0] = %+v", p.NB[0])
+	}
+	// Ring {4,5,6}: 5's neighbours are 4 and 6.
+	if p.NB[5].Left != 4 || p.NB[5].Right != 6 {
+		t.Errorf("NB[5] = %+v", p.NB[5])
+	}
+	// Wraparound: 4's left is 6.
+	if p.NB[4].Left != 6 || p.NB[4].Right != 5 {
+		t.Errorf("NB[4] = %+v", p.NB[4])
+	}
+	if p.TotalMsgs != 14 {
+		t.Errorf("TotalMsgs = %d, want 14", p.TotalMsgs)
+	}
+}
+
+func TestRingPatternsCount(t *testing.T) {
+	pats := RingPatterns(32)
+	if len(pats) != NumRingPatterns {
+		t.Fatalf("got %d patterns", len(pats))
+	}
+	for _, p := range pats {
+		if p.Random {
+			t.Errorf("%s marked random", p.Name)
+		}
+	}
+	// Last pattern is one ring of everything.
+	last := pats[NumRingPatterns-1]
+	if len(last.RingSizes) != 1 || last.RingSizes[0] != 32 {
+		t.Errorf("last pattern rings = %v", last.RingSizes)
+	}
+}
+
+func TestRandomPatternsDeterministicPerSeed(t *testing.T) {
+	a := RandomPatterns(16, 42)
+	b := RandomPatterns(16, 42)
+	c := RandomPatterns(16, 43)
+	for i := range a {
+		if fmt.Sprint(a[i].NB) != fmt.Sprint(b[i].NB) {
+			t.Fatalf("pattern %d differs across identical seeds", i)
+		}
+	}
+	same := 0
+	for i := range a {
+		if fmt.Sprint(a[i].NB) == fmt.Sprint(c[i].NB) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds should give different polygons")
+	}
+}
+
+func TestPatternNeighborsSymmetric(t *testing.T) {
+	// In every pattern, my left neighbour's right neighbour is me.
+	f := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw)%60 + 2
+		for _, p := range append(RingPatterns(n), RandomPatterns(n, seed)...) {
+			for r, nb := range p.NB {
+				if !nb.InRing {
+					continue
+				}
+				if p.NB[nb.Left].Right != r || p.NB[nb.Right].Left != r {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMessageSizes(t *testing.T) {
+	sizes := MessageSizes(1 << 20)
+	if len(sizes) != NumMessageSizes {
+		t.Fatalf("%d sizes", len(sizes))
+	}
+	// First 13: 1..4096 powers of two.
+	for i := 0; i < 13; i++ {
+		if sizes[i] != 1<<i {
+			t.Errorf("sizes[%d] = %d", i, sizes[i])
+		}
+	}
+	// L_max = 1 MB → a = 2: the tail doubles.
+	want := []int64{8192, 16384, 32768, 65536, 131072, 262144, 524288, 1048576}
+	for i, w := range want {
+		if sizes[13+i] != w {
+			t.Errorf("sizes[%d] = %d, want %d", 13+i, sizes[13+i], w)
+		}
+	}
+}
+
+func TestMessageSizesEndExactlyAtLmax(t *testing.T) {
+	f := func(raw uint32) bool {
+		lmax := int64(raw)%(256<<20) + 4097
+		sizes := MessageSizes(lmax)
+		if len(sizes) != NumMessageSizes {
+			return false
+		}
+		for i := 1; i < len(sizes); i++ {
+			if sizes[i] < sizes[i-1] {
+				return false
+			}
+		}
+		return sizes[NumMessageSizes-1] == lmax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLmaxFor(t *testing.T) {
+	if LmaxFor(128<<20) != 1<<20 {
+		t.Error("128MB memory → 1MB Lmax")
+	}
+	if LmaxFor(1<<40) != 128<<20 {
+		t.Error("should cap at 128MB")
+	}
+	if LmaxFor(0) != 1 {
+		t.Error("floor at 1")
+	}
+}
+
+func TestRingPatternListGolden(t *testing.T) {
+	// The paper cites ring_numbers.c's printed list for 2..28 processes
+	// (pattern 3, standard size 8). Pin our reconstruction of the whole
+	// table so it cannot drift silently.
+	var sb strings.Builder
+	for n := 2; n <= 28; n++ {
+		fmt.Fprintf(&sb, "%d:", n)
+		for pat := 0; pat < NumRingPatterns; pat++ {
+			fmt.Fprintf(&sb, " %v", RingSizes(n, StandardRingSize(pat, n)))
+		}
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "ring_patterns_2_28.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update-golden): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("ring pattern list drifted:\n%s", got)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import "math"
+
+// NumMessageSizes is the fixed count of b_eff message sizes: 13 values
+// from 1 byte to 4 kB (powers of two) plus 8 geometric steps from 4 kB
+// to L_max.
+const NumMessageSizes = 21
+
+// MessageSizes returns the 21 b_eff message lengths for a given L_max:
+// L = 1, 2, 4, ..., 4096, 4096*a, ..., 4096*a^8 with 4096*a^8 = L_max.
+// The sizes are plotted equidistant on the two logarithmic scales the
+// paper describes. L_max below 4 kB degenerates to the 13 fixed sizes
+// scaled down (not a configuration the paper uses, but handled sanely).
+func MessageSizes(lmax int64) []int64 {
+	sizes := make([]int64, 0, NumMessageSizes)
+	for l := int64(1); l <= 4096; l *= 2 {
+		sizes = append(sizes, l)
+	}
+	if lmax <= 4096 {
+		// Degenerate: pad with L_max so the count stays 21 and the
+		// averaging divisor stays honest.
+		for len(sizes) < NumMessageSizes {
+			sizes = append(sizes, lmax)
+		}
+		return sizes
+	}
+	a := math.Pow(float64(lmax)/4096.0, 1.0/8.0)
+	for i := 1; i <= 8; i++ {
+		l := int64(math.Round(4096.0 * math.Pow(a, float64(i))))
+		sizes = append(sizes, l)
+	}
+	sizes[NumMessageSizes-1] = lmax // exact, no rounding drift
+	return sizes
+}
+
+// LmaxFor applies the b_eff rule: L_max = min(128 MB, memory per
+// processor / 128).
+func LmaxFor(memoryPerProc int64) int64 {
+	l := memoryPerProc / 128
+	if l > 128<<20 {
+		l = 128 << 20
+	}
+	if l < 1 {
+		l = 1
+	}
+	return l
+}

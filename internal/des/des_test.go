@@ -1,0 +1,293 @@
+package des
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	var saw Time = -1
+	if err := e.Run(1, func(p *Proc) { saw = p.Now() }); err != nil {
+		t.Fatal(err)
+	}
+	if saw != 0 {
+		t.Fatalf("initial time = %v, want 0", saw)
+	}
+}
+
+func TestSleepAdvancesOnlyTheSleeper(t *testing.T) {
+	e := NewEngine()
+	times := make([]Time, 2)
+	err := e.Run(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Sleep(5 * Millisecond)
+		} else {
+			p.Sleep(2 * Millisecond)
+		}
+		times[p.ID()] = p.Now()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if times[0] != Time(5*Millisecond) || times[1] != Time(2*Millisecond) {
+		t.Fatalf("got %v, want [5ms 2ms]", times)
+	}
+}
+
+func TestSleepNegativeClampsToZero(t *testing.T) {
+	e := NewEngine()
+	err := e.Run(1, func(p *Proc) {
+		before := p.Now()
+		p.Sleep(-3 * Second)
+		if p.Now() != before {
+			t.Errorf("negative sleep moved the clock from %v to %v", before, p.Now())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavingIsTimeOrdered(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	err := e.Run(3, func(p *Proc) {
+		// proc i sleeps i*10ms then logs, three times.
+		for k := 0; k < 3; k++ {
+			p.Sleep(Duration(p.ID()+1) * 10 * Millisecond)
+			order = append(order, p.ID())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// proc0 logs at t=10,20,30; proc1 at 20,40,60; proc2 at 30,60,90.
+	// Ties (t=20, t=30, t=60) resolve by queue insertion order.
+	want := []int{0, 1, 0, 2, 0, 1, 2, 1, 2}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestCondHandoff(t *testing.T) {
+	e := NewEngine()
+	c := e.NewCond("mailbox")
+	var mailbox []int
+	var got int = -1
+	var recvTime Time
+	err := e.Run(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.WaitFor(c, func() bool { return len(mailbox) > 0 })
+			got = mailbox[0]
+			recvTime = p.Now()
+		} else {
+			p.Sleep(7 * Microsecond)
+			mailbox = append(mailbox, 42)
+			// Value becomes visible 3us in the future (in-flight).
+			c.WakeAt(p.Now().Add(3 * Microsecond))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+	if recvTime != Time(10*Microsecond) {
+		t.Fatalf("receive time = %v, want 10us", recvTime)
+	}
+}
+
+func TestStaleWakeClampsToPresent(t *testing.T) {
+	e := NewEngine()
+	c := e.NewCond("c")
+	ready := false
+	var wakeTime Time
+	err := e.Run(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Sleep(50 * Millisecond)
+			p.WaitFor(c, func() bool { return ready })
+			wakeTime = p.Now()
+		} else {
+			p.Sleep(60 * Millisecond)
+			ready = true
+			// Stale wake time in the past: the waiter can only learn of
+			// the state change now, at 60ms.
+			c.WakeAt(Time(10 * Millisecond))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wakeTime != Time(60*Millisecond) {
+		t.Fatalf("waiter resumed at %v, want 60ms (the moment of the wake)", wakeTime)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	c := e.NewCond("never")
+	err := e.Run(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Wait(c)
+		}
+	})
+	if err == nil {
+		t.Fatal("expected deadlock error, got nil")
+	}
+	if !strings.Contains(err.Error(), "deadlock") || !strings.Contains(err.Error(), "never") {
+		t.Fatalf("deadlock error should name the Cond: %v", err)
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	err := e.Run(3, func(p *Proc) {
+		p.Sleep(Duration(p.ID()) * Millisecond)
+		if p.ID() == 1 {
+			panic("boom")
+		}
+		p.Sleep(Second) // others must be torn down, not left hanging
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("want panic propagated, got %v", err)
+	}
+}
+
+func TestFailAbortsRun(t *testing.T) {
+	e := NewEngine()
+	c := e.NewCond("c")
+	err := e.Run(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Wait(c) // would deadlock, but Fail should win
+		} else {
+			p.Fail("explicit failure %d", 7)
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "explicit failure 7") {
+		t.Fatalf("want explicit failure, got %v", err)
+	}
+}
+
+func TestEngineSingleUse(t *testing.T) {
+	e := NewEngine()
+	if err := e.Run(1, func(p *Proc) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(1, func(p *Proc) {}); err == nil {
+		t.Fatal("second Run on same engine should fail")
+	}
+}
+
+func TestRunRejectsZeroProcs(t *testing.T) {
+	if err := NewEngine().Run(0, func(p *Proc) {}); err == nil {
+		t.Fatal("Run(0) should fail")
+	}
+}
+
+func TestManyProcsBarrierStyle(t *testing.T) {
+	// n procs increment a counter and the last one wakes everyone:
+	// a hand-rolled barrier exercising broadcast wake determinism.
+	const n = 64
+	e := NewEngine()
+	c := e.NewCond("barrier")
+	arrived := 0
+	var maxT Time
+	err := e.Run(n, func(p *Proc) {
+		p.Sleep(Duration(p.ID()) * Microsecond)
+		arrived++
+		if arrived == n {
+			c.WakeAt(p.Now())
+		} else {
+			p.WaitFor(c, func() bool { return arrived == n })
+		}
+		if p.Now() > maxT {
+			maxT = p.Now()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arrived != n {
+		t.Fatalf("arrived = %d, want %d", arrived, n)
+	}
+	if maxT != Time((n-1)*int64(Microsecond)) {
+		t.Fatalf("barrier released at %v, want %dus", maxT, n-1)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func() string {
+		var sb strings.Builder
+		e := NewEngine()
+		c := e.NewCond("c")
+		token := 0
+		err := e.Run(8, func(p *Proc) {
+			for k := 0; k < 5; k++ {
+				p.Sleep(Duration((p.ID()*7+k*13)%17) * Microsecond)
+				p.WaitFor(c, func() bool { return token%8 == p.ID() })
+				fmt.Fprintf(&sb, "%d@%v ", p.ID(), p.Now())
+				token++
+				c.WakeAt(p.Now())
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := trace(), trace()
+	if a != b {
+		t.Fatalf("nondeterministic traces:\n%s\n%s", a, b)
+	}
+}
+
+func TestDurationOf(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want Duration
+	}{
+		{1.0, Second},
+		{0.001, Millisecond},
+		{0, 0},
+		{-5, 0},
+		{1e-9, Nanosecond},
+	}
+	for _, c := range cases {
+		if got := DurationOf(c.sec); got != c.want {
+			t.Errorf("DurationOf(%v) = %v, want %v", c.sec, got, c.want)
+		}
+	}
+}
+
+func TestDurationOfQuick(t *testing.T) {
+	// Round-tripping seconds through DurationOf never goes negative and
+	// is monotone for sane magnitudes.
+	f := func(ms uint16) bool {
+		d := DurationOf(float64(ms) / 1000.0)
+		return d >= 0 && d == Duration(ms)*Millisecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeStringFormats(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2500 * Microsecond, "2.500ms"},
+		{3 * Second, "3.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Engine is a sequential discrete-event scheduler. It owns a set of
+// processes (see Proc) and a virtual clock. At any instant exactly one
+// process runs; all others are either queued with a wake-up time or
+// blocked on a Cond. The engine always resumes the runnable process with
+// the smallest wake-up time, which preserves causality: shared state is
+// only ever mutated in nondecreasing virtual-time order.
+type Engine struct {
+	clock    Time
+	queue    procHeap
+	running  *Proc
+	yieldCh  chan *Proc
+	seq      uint64
+	procs    []*Proc
+	finished int
+	aborting bool
+	failure  error
+}
+
+// NewEngine returns an empty engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{yieldCh: make(chan *Proc)}
+}
+
+// Now reports the current virtual time. It is only meaningful while Run
+// is executing (from inside process bodies or engine callbacks).
+func (e *Engine) Now() Time { return e.clock }
+
+// abortError is the sentinel carried by the panic that tears down
+// leftover process goroutines when a run aborts (deadlock or a process
+// failure). It must never escape to user code.
+type abortError struct{ cause error }
+
+func (a abortError) Error() string { return "des: simulation aborted: " + a.cause.Error() }
+
+// Run creates n processes executing body and drives the simulation until
+// every process has returned. The process with rank 0..n-1 is passed its
+// own Proc handle. Run returns an error if the simulation deadlocks
+// (every live process blocked on a Cond) or if any process panics or
+// calls Proc.Fail.
+func (e *Engine) Run(n int, body func(p *Proc)) error {
+	if n <= 0 {
+		return fmt.Errorf("des: Run needs at least one process, got %d", n)
+	}
+	if e.running != nil || len(e.procs) != 0 {
+		return fmt.Errorf("des: engine already used; create a fresh engine per Run")
+	}
+	e.procs = make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		p := &Proc{id: i, eng: e, resume: make(chan resumeMsg), label: fmt.Sprintf("proc %d", i)}
+		e.procs[i] = p
+		e.push(p, 0)
+		go func(p *Proc) {
+			defer func() {
+				if r := recover(); r != nil {
+					if _, isAbort := r.(abortError); isAbort {
+						// Engine-initiated teardown: report back silently.
+						p.state = stateDone
+						e.yieldCh <- p
+						return
+					}
+					p.state = stateDone
+					p.err = fmt.Errorf("des: %s panicked: %v", p.label, r)
+					e.yieldCh <- p
+					return
+				}
+			}()
+			p.waitResume() // first activation
+			body(p)
+			p.state = stateDone
+			e.yieldCh <- p
+		}(p)
+	}
+	return e.loop()
+}
+
+// loop is the scheduler: pop the earliest runnable process, advance the
+// clock, hand it the baton, and wait for it to yield or finish.
+func (e *Engine) loop() error {
+	for e.queue.Len() > 0 {
+		p := e.pop()
+		if p.wakeAt < e.clock {
+			// Should be impossible: wake times are always >= the clock
+			// at the moment they are set.
+			return fmt.Errorf("des: time ran backwards (clock %v, wake %v for %s)", e.clock, p.wakeAt, p.label)
+		}
+		e.clock = p.wakeAt
+		p.now = p.wakeAt
+		e.running = p
+		p.resume <- resumeMsg{}
+		<-e.yieldCh
+		e.running = nil
+		switch p.state {
+		case stateDone:
+			e.finished++
+			if p.err != nil && e.failure == nil {
+				e.failure = p.err
+			}
+			if e.failure != nil {
+				return e.teardown()
+			}
+		case stateQueued, stateBlocked:
+			// Re-queued by its own Sleep / Cond wait; nothing to do.
+		default:
+			return fmt.Errorf("des: %s yielded in unexpected state %d", p.label, p.state)
+		}
+	}
+	if e.finished != len(e.procs) {
+		err := e.deadlockError()
+		e.failure = err
+		return e.teardown()
+	}
+	return nil
+}
+
+// teardown force-unwinds every process that is still blocked so their
+// goroutines exit, then reports the recorded failure.
+func (e *Engine) teardown() error {
+	e.aborting = true
+	for _, p := range e.procs {
+		if p.state == stateDone {
+			continue
+		}
+		// Remove from the run queue if present, then resume with the
+		// abort flag set; the process panics with abortError which its
+		// wrapper swallows.
+		if p.state == stateQueued {
+			heap.Remove(&e.queue, p.heapIdx)
+		}
+		p.state = stateAborting
+		p.resume <- resumeMsg{abort: true}
+		<-e.yieldCh
+	}
+	return e.failure
+}
+
+func (e *Engine) deadlockError() error {
+	var stuck []string
+	for _, p := range e.procs {
+		if p.state == stateBlocked {
+			stuck = append(stuck, fmt.Sprintf("%s (at %v, waiting on %s)", p.label, p.now, p.waitingOn))
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("des: deadlock at %v: %d of %d processes blocked:\n  %s",
+		e.clock, len(stuck), len(e.procs), strings.Join(stuck, "\n  "))
+}
+
+func (e *Engine) push(p *Proc, at Time) {
+	p.wakeAt = at
+	p.seq = e.seq
+	e.seq++
+	p.state = stateQueued
+	heap.Push(&e.queue, p)
+}
+
+func (e *Engine) pop() *Proc {
+	return heap.Pop(&e.queue).(*Proc)
+}
+
+// procHeap orders processes by wake time, breaking ties by insertion
+// sequence so that scheduling is fully deterministic.
+type procHeap []*Proc
+
+func (h procHeap) Len() int { return len(h) }
+func (h procHeap) Less(i, j int) bool {
+	if h[i].wakeAt != h[j].wakeAt {
+		return h[i].wakeAt < h[j].wakeAt
+	}
+	return h[i].seq < h[j].seq
+}
+func (h procHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *procHeap) Push(x any) {
+	p := x.(*Proc)
+	p.heapIdx = len(*h)
+	*h = append(*h, p)
+}
+func (h *procHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}

@@ -1,0 +1,271 @@
+package machine
+
+// Declarative machine definitions: a downstream user models their
+// system in JSON instead of Go. Example:
+//
+//	{
+//	  "key": "mycluster",
+//	  "name": "My 2x16 SMP cluster",
+//	  "maxProcs": 32,
+//	  "smpNodeSize": 16,
+//	  "numbering": "sequential",
+//	  "memoryPerProcMB": 512,
+//	  "rmaxPerProcGF": 1.2,
+//	  "fabric": {
+//	    "kind": "smp-cluster",
+//	    "busGBps": 8, "adapterGBps": 1,
+//	    "intraLatencyUs": 2, "interLatencyUs": 10
+//	  },
+//	  "nic": {"txGBps": 1.5, "rxGBps": 1.5, "portGBps": 1.2,
+//	          "sendOverheadUs": 4, "recvOverheadUs": 4, "memcpyGBps": 3},
+//	  "fs": {"servers": 8, "stripeKB": 512, "blockKB": 64,
+//	         "writeMBps": 40, "readMBps": 45, "seekMs": 5,
+//	         "requestOverheadUs": 150, "cachePerServerMB": 64,
+//	         "memoryGBps": 2, "clientMBps": 0}
+//	}
+//
+// Fabric kinds: "crossbar", "smp-cluster", "torus3d", "fat-tree".
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/simfs"
+	"github.com/hpcbench/beff/internal/simnet"
+)
+
+// ConfigFile is the JSON schema of a machine definition.
+type ConfigFile struct {
+	Key             string  `json:"key"`
+	Name            string  `json:"name"`
+	MaxProcs        int     `json:"maxProcs"`
+	SMPNodeSize     int     `json:"smpNodeSize"`
+	Numbering       string  `json:"numbering"` // "sequential" (default) or "round-robin"
+	MemoryPerProcMB int64   `json:"memoryPerProcMB"`
+	RmaxPerProcGF   float64 `json:"rmaxPerProcGF"`
+	IOProcsPerNode  int     `json:"ioProcsPerNode"`
+
+	Fabric FabricConfig `json:"fabric"`
+	NIC    NICConfig    `json:"nic"`
+	FS     *FSConfig    `json:"fs"`
+}
+
+// FabricConfig selects and parameterises the interconnect.
+type FabricConfig struct {
+	Kind string `json:"kind"`
+
+	// crossbar
+	AggregateGBps float64 `json:"aggregateGBps"`
+	LatencyUs     float64 `json:"latencyUs"`
+
+	// smp-cluster
+	BusGBps        float64 `json:"busGBps"`
+	IntraCopies    float64 `json:"intraCopies"`
+	AdapterGBps    float64 `json:"adapterGBps"`
+	SpineGBps      float64 `json:"spineGBps"`
+	IntraLatencyUs float64 `json:"intraLatencyUs"`
+	InterLatencyUs float64 `json:"interLatencyUs"`
+
+	// torus3d
+	LinkGBps     float64 `json:"linkGBps"`
+	BaseLatUs    float64 `json:"baseLatencyUs"`
+	HopLatencyNs float64 `json:"hopLatencyNs"`
+
+	// fat-tree
+	LeafSize int `json:"leafSize"`
+	Uplinks  int `json:"uplinks"`
+}
+
+// NICConfig parameterises the per-processor resources.
+type NICConfig struct {
+	TxGBps         float64 `json:"txGBps"`
+	RxGBps         float64 `json:"rxGBps"`
+	PortGBps       float64 `json:"portGBps"`
+	SendOverheadUs float64 `json:"sendOverheadUs"`
+	RecvOverheadUs float64 `json:"recvOverheadUs"`
+	MemcpyGBps     float64 `json:"memcpyGBps"`
+	EagerLimitKB   int64   `json:"eagerLimitKB"`
+}
+
+// FSConfig parameterises the I/O subsystem.
+type FSConfig struct {
+	Servers           int     `json:"servers"`
+	StripeKB          int64   `json:"stripeKB"`
+	BlockKB           int64   `json:"blockKB"`
+	SectorB           int64   `json:"sectorB"`
+	WriteMBps         float64 `json:"writeMBps"`
+	ReadMBps          float64 `json:"readMBps"`
+	SeekMs            float64 `json:"seekMs"`
+	RequestOverheadUs float64 `json:"requestOverheadUs"`
+	OpenMs            float64 `json:"openMs"`
+	CloseMs           float64 `json:"closeMs"`
+	ClientMBps        float64 `json:"clientMBps"`
+	CachePerServerMB  int64   `json:"cachePerServerMB"`
+	MemoryGBps        float64 `json:"memoryGBps"`
+	AllocPerBlockUs   float64 `json:"allocPerBlockUs"`
+}
+
+// LoadConfig reads a machine definition from a JSON file. The profile
+// is returned but NOT registered: look it up by the returned pointer.
+func LoadConfig(path string) (*Profile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("machine: %w", err)
+	}
+	return ParseConfig(data)
+}
+
+// ParseConfig builds a Profile from JSON machine definition bytes.
+func ParseConfig(data []byte) (*Profile, error) {
+	var cf ConfigFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("machine: bad config: %w", err)
+	}
+	return cf.Build()
+}
+
+func usF(v float64) des.Duration { return des.Duration(v * 1000) }
+func msF(v float64) des.Duration { return des.Duration(v * 1e6) }
+
+// Build validates the definition and produces a Profile.
+func (cf ConfigFile) Build() (*Profile, error) {
+	if cf.Key == "" || cf.Name == "" {
+		return nil, fmt.Errorf("machine: config needs key and name")
+	}
+	if cf.MaxProcs < 1 {
+		return nil, fmt.Errorf("machine %s: maxProcs must be >= 1", cf.Key)
+	}
+	if cf.MemoryPerProcMB < 1 {
+		return nil, fmt.Errorf("machine %s: memoryPerProcMB must be >= 1", cf.Key)
+	}
+	nodeSize := cf.SMPNodeSize
+	if nodeSize == 0 {
+		nodeSize = 1
+	}
+	var numbering Numbering
+	switch cf.Numbering {
+	case "", "sequential":
+		numbering = Sequential
+	case "round-robin":
+		numbering = RoundRobin
+	default:
+		return nil, fmt.Errorf("machine %s: unknown numbering %q", cf.Key, cf.Numbering)
+	}
+	fabric, err := cf.fabricBuilder(nodeSize)
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{
+		Key:            cf.Key,
+		Name:           cf.Name,
+		MaxProcs:       cf.MaxProcs,
+		SMPNodeSize:    nodeSize,
+		Numbering:      numbering,
+		MemoryPerProc:  cf.MemoryPerProcMB * mB,
+		RmaxPerProcGF:  cf.RmaxPerProcGF,
+		IOProcsPerNode: cf.IOProcsPerNode,
+		EagerLimit:     cf.NIC.EagerLimitKB << 10,
+		buildFabric:    fabric,
+	}
+	if cf.FS != nil {
+		fsCfg, err := cf.FS.build(cf.Key, cf.MaxProcs)
+		if err != nil {
+			return nil, err
+		}
+		p.FS = fsCfg
+	}
+	return p, nil
+}
+
+func (cf ConfigFile) fabricBuilder(nodeSize int) (func(procs int) simnetConfig, error) {
+	nic := simnet.Config{
+		TxBandwidth:      cf.NIC.TxGBps * 1e9,
+		RxBandwidth:      cf.NIC.RxGBps * 1e9,
+		PortBandwidth:    cf.NIC.PortGBps * 1e9,
+		SendOverhead:     usF(cf.NIC.SendOverheadUs),
+		RecvOverhead:     usF(cf.NIC.RecvOverheadUs),
+		MemCopyBandwidth: cf.NIC.MemcpyGBps * 1e9,
+	}
+	f := cf.Fabric
+	switch f.Kind {
+	case "crossbar", "":
+		return func(procs int) simnetConfig {
+			return simnetConfig{
+				fabric: simnet.NewCrossbar(procs, f.AggregateGBps*1e9, usF(f.LatencyUs)),
+				cfg:    nic,
+			}
+		}, nil
+	case "smp-cluster":
+		return func(procs int) simnetConfig {
+			nodes := (procs + nodeSize - 1) / nodeSize
+			return simnetConfig{
+				fabric: simnet.NewSMPCluster(simnet.SMPClusterConfig{
+					Nodes:            nodes,
+					ProcsPerNode:     nodeSize,
+					BusBandwidth:     f.BusGBps * 1e9,
+					IntraCopies:      f.IntraCopies,
+					AdapterBandwidth: f.AdapterGBps * 1e9,
+					SpineBandwidth:   f.SpineGBps * 1e9,
+					IntraLatency:     usF(f.IntraLatencyUs),
+					InterLatency:     usF(f.InterLatencyUs),
+				}),
+				cfg: nic,
+			}
+		}, nil
+	case "torus3d":
+		return func(procs int) simnetConfig {
+			dx, dy, dz := torusDims(procs)
+			return simnetConfig{
+				fabric: simnet.NewTorus3D(dx, dy, dz, f.LinkGBps*1e9,
+					usF(f.BaseLatUs), des.Duration(f.HopLatencyNs)),
+				cfg: nic,
+			}
+		}, nil
+	case "fat-tree":
+		if f.LeafSize < 1 || f.Uplinks < 1 {
+			return nil, fmt.Errorf("machine %s: fat-tree needs leafSize and uplinks", cf.Key)
+		}
+		return func(procs int) simnetConfig {
+			return simnetConfig{
+				fabric: simnet.NewFatTree(simnet.FatTreeConfig{
+					Procs:    procs,
+					LeafSize: f.LeafSize,
+					Uplinks:  f.Uplinks,
+					LinkBW:   f.LinkGBps * 1e9,
+					IntraLat: usF(f.IntraLatencyUs),
+					InterLat: usF(f.InterLatencyUs),
+				}),
+				cfg: nic,
+			}
+		}, nil
+	default:
+		return nil, fmt.Errorf("machine %s: unknown fabric kind %q", cf.Key, f.Kind)
+	}
+}
+
+func (fc FSConfig) build(key string, maxProcs int) (*simfs.Config, error) {
+	cfg := &simfs.Config{
+		Name:               key + " fs",
+		Servers:            fc.Servers,
+		StripeUnit:         fc.StripeKB * kB,
+		BlockSize:          fc.BlockKB * kB,
+		SectorSize:         fc.SectorB,
+		WriteBandwidth:     fc.WriteMBps * 1e6,
+		ReadBandwidth:      fc.ReadMBps * 1e6,
+		SeekTime:           msF(fc.SeekMs),
+		RequestOverhead:    usF(fc.RequestOverheadUs),
+		OpenCost:           msF(fc.OpenMs),
+		CloseCost:          msF(fc.CloseMs),
+		Clients:            maxProcs,
+		ClientBandwidth:    fc.ClientMBps * 1e6,
+		CacheSizePerServer: fc.CachePerServerMB * mB,
+		MemoryBandwidth:    fc.MemoryGBps * 1e9,
+		AllocPerBlock:      usF(fc.AllocPerBlockUs),
+	}
+	if _, err := simfs.New(*cfg); err != nil {
+		return nil, fmt.Errorf("machine %s: %w", key, err)
+	}
+	return cfg, nil
+}

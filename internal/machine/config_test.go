@@ -1,0 +1,139 @@
+package machine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hpcbench/beff/internal/mpi"
+)
+
+const sampleConfig = `{
+  "key": "mycluster",
+  "name": "My 2x16 SMP cluster",
+  "maxProcs": 32,
+  "smpNodeSize": 16,
+  "numbering": "round-robin",
+  "memoryPerProcMB": 512,
+  "rmaxPerProcGF": 1.2,
+  "fabric": {
+    "kind": "smp-cluster",
+    "busGBps": 8, "adapterGBps": 1, "intraCopies": 2,
+    "intraLatencyUs": 2, "interLatencyUs": 10
+  },
+  "nic": {"txGBps": 1.5, "rxGBps": 1.5, "portGBps": 1.2,
+          "sendOverheadUs": 4, "recvOverheadUs": 4, "memcpyGBps": 3,
+          "eagerLimitKB": 32},
+  "fs": {"servers": 8, "stripeKB": 512, "blockKB": 64,
+         "writeMBps": 40, "readMBps": 45, "seekMs": 5,
+         "requestOverheadUs": 150, "openMs": 3, "closeMs": 2,
+         "cachePerServerMB": 64, "memoryGBps": 2}
+}`
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	p, err := ParseConfig([]byte(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Key != "mycluster" || p.MaxProcs != 32 || p.SMPNodeSize != 16 {
+		t.Errorf("profile = %+v", p)
+	}
+	if p.Numbering != RoundRobin {
+		t.Error("numbering not parsed")
+	}
+	if p.Lmax() != 4<<20 {
+		t.Errorf("Lmax = %d, want 4MB (512MB/128)", p.Lmax())
+	}
+	if p.EagerLimit != 32<<10 {
+		t.Errorf("eager limit = %d", p.EagerLimit)
+	}
+	if p.FS == nil || p.FS.Servers != 8 {
+		t.Error("fs not parsed")
+	}
+}
+
+func TestConfigProfileRunsJob(t *testing.T) {
+	p, err := ParseConfig([]byte(sampleConfig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := p.BuildWorld(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Placement == nil {
+		t.Error("round-robin config should produce a placement")
+	}
+	err = mpi.Run(w, func(c *mpi.Comm) {
+		n := c.Size()
+		c.SendrecvBytes((c.Rank()+1)%n, 0, 4096, (c.Rank()-1+n)%n, 0)
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.BuildFS(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadConfigFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := os.WriteFile(path, []byte(sampleConfig), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "My 2x16 SMP cluster" {
+		t.Errorf("name = %q", p.Name)
+	}
+	if _, err := LoadConfig(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestConfigValidationErrors(t *testing.T) {
+	bad := []string{
+		`{}`,                                  // no key/name
+		`{"key":"k","name":"n"}`,              // no maxProcs
+		`{"key":"k","name":"n","maxProcs":4}`, // no memory
+		`{"key":"k","name":"n","maxProcs":4,"memoryPerProcMB":64,"numbering":"snake"}`,
+		`{"key":"k","name":"n","maxProcs":4,"memoryPerProcMB":64,"fabric":{"kind":"hypercube"}}`,
+		`{"key":"k","name":"n","maxProcs":4,"memoryPerProcMB":64,"fabric":{"kind":"fat-tree"}}`,
+		`{"key":"k","name":"n","maxProcs":4,"memoryPerProcMB":64,"fs":{"servers":0}}`,
+		`not json`,
+	}
+	for i, s := range bad {
+		if _, err := ParseConfig([]byte(s)); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestConfigAllFabricKinds(t *testing.T) {
+	kinds := []string{
+		`{"kind":"crossbar","latencyUs":5}`,
+		`{"kind":"smp-cluster","busGBps":4,"adapterGBps":1}`,
+		`{"kind":"torus3d","linkGBps":0.5,"baseLatencyUs":1,"hopLatencyNs":80}`,
+		`{"kind":"fat-tree","leafSize":4,"uplinks":2,"linkGBps":0.2}`,
+	}
+	for _, k := range kinds {
+		cfg := `{"key":"x","name":"X","maxProcs":8,"memoryPerProcMB":128,
+			"fabric":` + k + `,"nic":{"txGBps":1,"rxGBps":1}}`
+		p, err := ParseConfig([]byte(cfg))
+		if err != nil {
+			t.Errorf("%s: %v", k, err)
+			continue
+		}
+		w, err := p.BuildWorld(8)
+		if err != nil {
+			t.Errorf("%s: %v", k, err)
+			continue
+		}
+		if err := mpi.Run(w, func(c *mpi.Comm) { c.Barrier() }); err != nil {
+			t.Errorf("%s: %v", k, err)
+		}
+	}
+}

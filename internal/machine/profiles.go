@@ -1,0 +1,481 @@
+package machine
+
+import (
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/simfs"
+	"github.com/hpcbench/beff/internal/simnet"
+)
+
+const (
+	kB = int64(1) << 10
+	mB = int64(1) << 20
+	gB = int64(1) << 30
+)
+
+// CrayT3E models the T3E-900/512 at HLRS: one processor per node on a
+// 3-D torus. The per-processor memory port is what caps the parallel
+// ring patterns near 200 MB/s per processor while one-directional
+// ping-pong streams reach the ~330 MB/s link rate; random placements
+// spread traffic over many torus links and collapse at scale.
+var CrayT3E = register(&Profile{
+	Key:              "t3e",
+	Name:             "Cray T3E/900-512",
+	Class:            DistributedMemory,
+	MaxProcs:         512,
+	SMPNodeSize:      1,
+	MemoryPerProc:    128 * mB, // L_max = 1 MB, as in Table 1
+	RmaxPerProcGF:    0.47,
+	VendorPingPongMB: 330,
+	buildFabric: func(procs int) simnetConfig {
+		dx, dy, dz := torusDims(procs)
+		return simnetConfig{
+			fabric: simnet.NewTorus3D(dx, dy, dz, 480e6, us(1), des.Duration(80)),
+			cfg: simnet.Config{
+				TxBandwidth:      345e6,
+				RxBandwidth:      345e6,
+				PortBandwidth:    400e6,
+				SendOverhead:     us(5),
+				RecvOverhead:     us(5),
+				MemCopyBandwidth: 600e6,
+			},
+		}
+	},
+	// The HLRS tmp filesystem: 10 striped RAID disks on a GigaRing,
+	// ~300 MB/s aggregate; the I/O bandwidth is a global resource
+	// (Fig. 3: flat from 8 to 128 processes).
+	FS: &simfs.Config{
+		Name:               "t3e-tmp (10 striped RAID, GigaRing)",
+		Servers:            10,
+		StripeUnit:         1 * mB,
+		BlockSize:          64 * kB,
+		WriteBandwidth:     30e6,
+		ReadBandwidth:      34e6,
+		SeekTime:           6 * des.Millisecond,
+		RequestOverhead:    180 * des.Microsecond,
+		OpenCost:           4 * des.Millisecond,
+		CloseCost:          3 * des.Millisecond,
+		Clients:            512,
+		ClientBandwidth:    0, // GigaRing: global, not per-client
+		CacheSizePerServer: 48 * mB,
+		MemoryBandwidth:    600e6,
+		AllocPerBlock:      30 * des.Microsecond,
+	},
+})
+
+// IBMSp models the LLNL RS 6000/SP "Blue Pacific": 336 4-way SMP nodes
+// on a switch. I/O goes through GPFS with 20 VSD servers; aggregate
+// bandwidth tracks the number of client nodes until the servers
+// saturate (~690 MB/s write, ~950 MB/s read), per Jones/Koniges/Yates.
+var IBMSp = register(&Profile{
+	Key:              "sp",
+	Name:             "IBM RS 6000/SP blue Pacific",
+	Class:            DistributedMemory,
+	MaxProcs:         1344,
+	SMPNodeSize:      4,
+	Numbering:        Sequential,
+	MemoryPerProc:    256 * mB, // 1 GB nodes
+	RmaxPerProcGF:    0.32,
+	VendorPingPongMB: 0,
+	IOProcsPerNode:   1, // the paper's measurement choice
+	buildFabric: func(procs int) simnetConfig {
+		nodes := (procs + 3) / 4
+		return simnetConfig{
+			fabric: simnet.NewSMPCluster(simnet.SMPClusterConfig{
+				Nodes: nodes, ProcsPerNode: 4,
+				BusBandwidth:     1.0e9,
+				IntraCopies:      2,
+				AdapterBandwidth: 150e6,
+				IntraLatency:     us(3),
+				InterLatency:     us(18),
+			}),
+			cfg: simnet.Config{
+				TxBandwidth:      300e6,
+				RxBandwidth:      300e6,
+				PortBandwidth:    320e6,
+				SendOverhead:     us(8),
+				RecvOverhead:     us(8),
+				MemCopyBandwidth: 500e6,
+			},
+		}
+	},
+	FS: &simfs.Config{
+		Name:               "GPFS blue.llnl.gov:/g/g1 (20 VSD servers)",
+		Servers:            20,
+		StripeUnit:         256 * kB,
+		BlockSize:          256 * kB,
+		WriteBandwidth:     35e6, // 20 x 35 ≈ 700 MB/s aggregate
+		ReadBandwidth:      48e6, // 20 x 48 ≈ 950 MB/s aggregate
+		SeekTime:           5 * des.Millisecond,
+		RequestOverhead:    120 * des.Microsecond,
+		OpenCost:           6 * des.Millisecond,
+		CloseCost:          4 * des.Millisecond,
+		Clients:            1344,
+		ClientBandwidth:    11e6, // per-node VSD client share: I/O tracks node count
+		CacheSizePerServer: 32 * mB,
+		MemoryBandwidth:    500e6,
+		AllocPerBlock:      60 * des.Microsecond,
+	},
+})
+
+// hitachiSR8000 builds the interconnect shared by the two SR 8000
+// numbering variants: 8-way SMP nodes, a fast intra-node memory system
+// and ~800 MB/s inter-node adapters. Sequential numbering keeps ring
+// neighbours on-node (fast); round-robin pushes every ring edge through
+// the adapters, which the paper's Table 1 shows costs a factor ~4.
+func hitachiSR8000(procs int) simnetConfig {
+	nodes := (procs + 7) / 8
+	return simnetConfig{
+		fabric: simnet.NewSMPCluster(simnet.SMPClusterConfig{
+			Nodes: nodes, ProcsPerNode: 8,
+			BusBandwidth:     6.4e9,
+			IntraCopies:      2,
+			AdapterBandwidth: 800e6,
+			IntraLatency:     us(2),
+			InterLatency:     us(8),
+		}),
+		cfg: simnet.Config{
+			TxBandwidth:      1.2e9,
+			RxBandwidth:      1.2e9,
+			PortBandwidth:    1.0e9,
+			SendOverhead:     us(6),
+			RecvOverhead:     us(6),
+			MemCopyBandwidth: 2.0e9,
+		},
+	}
+}
+
+var sr8000FS = &simfs.Config{
+	Name:               "SR8000 striped fs (synthetic: no config published)",
+	Servers:            8,
+	StripeUnit:         512 * kB,
+	BlockSize:          64 * kB,
+	WriteBandwidth:     40e6,
+	ReadBandwidth:      45e6,
+	SeekTime:           5 * des.Millisecond,
+	RequestOverhead:    150 * des.Microsecond,
+	OpenCost:           4 * des.Millisecond,
+	CloseCost:          3 * des.Millisecond,
+	Clients:            128,
+	ClientBandwidth:    0,
+	CacheSizePerServer: 64 * mB,
+	MemoryBandwidth:    2.0e9,
+	AllocPerBlock:      40 * des.Microsecond,
+}
+
+// HitachiSR8000RR is the round-robin-numbered SR 8000 of Table 1.
+var HitachiSR8000RR = register(&Profile{
+	Key:              "sr8000-rr",
+	Name:             "Hitachi SR 8000 round-robin",
+	Class:            DistributedMemory,
+	MaxProcs:         128,
+	SMPNodeSize:      8,
+	Numbering:        RoundRobin,
+	MemoryPerProc:    1 * gB, // L_max = 8 MB
+	RmaxPerProcGF:    0.75,
+	VendorPingPongMB: 776,
+	buildFabric:      hitachiSR8000,
+	FS:               sr8000FS,
+})
+
+// HitachiSR8000Seq is the sequentially numbered SR 8000 of Table 1.
+var HitachiSR8000Seq = register(&Profile{
+	Key:              "sr8000-seq",
+	Name:             "Hitachi SR 8000 sequential",
+	Class:            DistributedMemory,
+	MaxProcs:         128,
+	SMPNodeSize:      8,
+	Numbering:        Sequential,
+	MemoryPerProc:    1 * gB,
+	RmaxPerProcGF:    0.75,
+	VendorPingPongMB: 954,
+	buildFabric:      hitachiSR8000,
+	FS:               sr8000FS,
+})
+
+// HitachiSR2201 is the 16-processor SR 2201 row.
+var HitachiSR2201 = register(&Profile{
+	Key:           "sr2201",
+	Name:          "Hitachi SR 2201",
+	Class:         DistributedMemory,
+	MaxProcs:      16,
+	SMPNodeSize:   1,
+	MemoryPerProc: 256 * mB, // L_max = 2 MB
+	RmaxPerProcGF: 0.23,
+	buildFabric: func(procs int) simnetConfig {
+		return simnetConfig{
+			fabric: simnet.NewCrossbar(procs, 0, us(6)),
+			cfg: simnet.Config{
+				TxBandwidth:      300e6,
+				RxBandwidth:      300e6,
+				PortBandwidth:    200e6,
+				SendOverhead:     us(10),
+				RecvOverhead:     us(10),
+				MemCopyBandwidth: 400e6,
+			},
+		}
+	},
+})
+
+// sharedMemoryFabric builds a one-node SMP: all traffic crosses the
+// node's memory system twice (the MPI shared-memory buffer copy the
+// paper calls out), so b_eff per processor is about half the memory
+// copy rate.
+func sharedMemoryFabric(busBW, portBW, nicBW, memcpyBW float64, overhead des.Duration) func(procs int) simnetConfig {
+	return func(procs int) simnetConfig {
+		return simnetConfig{
+			fabric: simnet.NewSMPCluster(simnet.SMPClusterConfig{
+				Nodes: 1, ProcsPerNode: procs,
+				BusBandwidth: busBW,
+				IntraCopies:  2,
+				IntraLatency: us(1),
+			}),
+			cfg: simnet.Config{
+				TxBandwidth:      nicBW,
+				RxBandwidth:      nicBW,
+				PortBandwidth:    portBW,
+				SendOverhead:     overhead,
+				RecvOverhead:     overhead,
+				MemCopyBandwidth: memcpyBW,
+			},
+		}
+	}
+}
+
+// NECSx5 is the NEC SX-5/8B row: vector shared memory, enormous
+// per-processor bandwidth.
+var NECSx5 = register(&Profile{
+	Key:           "sx5",
+	Name:          "NEC SX-5/8B",
+	Class:         SharedMemory,
+	MaxProcs:      8,
+	SMPNodeSize:   8,
+	MemoryPerProc: 256 * mB, // L_max = 2 MB as used in Table 1
+	RmaxPerProcGF: 4.0,
+	buildFabric:   sharedMemoryFabric(256e9, 17.6e9, 20e9, 30e9, us(4)),
+	// SFS with four striped RAID-3 arrays and a large fs cache: the
+	// §5.4 cache-measurement discussion machine.
+	FS: &simfs.Config{
+		Name:               "SFS (4x RAID-3 DS1200, fibre channel)",
+		Servers:            4,
+		StripeUnit:         4 * mB, // 4 MB cluster size
+		BlockSize:          4 * mB,
+		WriteBandwidth:     60e6,
+		ReadBandwidth:      70e6,
+		SeekTime:           4 * des.Millisecond,
+		RequestOverhead:    80 * des.Microsecond,
+		OpenCost:           2 * des.Millisecond,
+		CloseCost:          2 * des.Millisecond,
+		Clients:            8,
+		ClientBandwidth:    0,
+		CacheSizePerServer: 512 * mB, // the 2 GB filesystem cache
+		MemoryBandwidth:    8e9,
+		AllocPerBlock:      100 * des.Microsecond,
+	},
+})
+
+// NECSx4 is the NEC SX-4/32 row.
+var NECSx4 = register(&Profile{
+	Key:           "sx4",
+	Name:          "NEC SX-4/32",
+	Class:         SharedMemory,
+	MaxProcs:      32,
+	SMPNodeSize:   32,
+	MemoryPerProc: 256 * mB, // L_max = 2 MB
+	RmaxPerProcGF: 1.8,
+	buildFabric:   sharedMemoryFabric(400e9, 7.2e9, 8e9, 14e9, us(5)),
+})
+
+// HPV9000 is the HP-V 9000 row.
+var HPV9000 = register(&Profile{
+	Key:           "hpv",
+	Name:          "HP-V 9000",
+	Class:         SharedMemory,
+	MaxProcs:      8,
+	SMPNodeSize:   8,
+	MemoryPerProc: 1 * gB, // L_max = 8 MB
+	RmaxPerProcGF: 0.55,
+	buildFabric:   sharedMemoryFabric(4e9, 330e6, 420e6, 700e6, us(10)),
+})
+
+// SGISv1 is the SGI Cray SV1-B/16-8 row.
+var SGISv1 = register(&Profile{
+	Key:              "sv1",
+	Name:             "SGI Cray SV1-B/16-8",
+	Class:            SharedMemory,
+	MaxProcs:         16,
+	SMPNodeSize:      16,
+	MemoryPerProc:    512 * mB, // L_max = 4 MB
+	RmaxPerProcGF:    0.9,
+	VendorPingPongMB: 994,
+	buildFabric:      sharedMemoryFabric(12e9, 1.05e9, 1.3e9, 2e9, us(6)),
+})
+
+// SGIOrigin2000 models the ccNUMA SGI Origin 2000 of the paper's
+// reference [10] (Luecke/Coyle compare MPI on the T3E-900, the Origin
+// 2000 and the IBM P2SC): hypercube-ish node pairs sharing hub links.
+// We model it as an SMP cluster of dual-processor nodes on CrayLink.
+var SGIOrigin2000 = register(&Profile{
+	Key:           "origin2000",
+	Name:          "SGI Origin 2000",
+	Class:         DistributedMemory,
+	MaxProcs:      128,
+	SMPNodeSize:   2,
+	Numbering:     Sequential,
+	MemoryPerProc: 256 * mB, // L_max = 2 MB
+	RmaxPerProcGF: 0.35,
+	buildFabric: func(procs int) simnetConfig {
+		nodes := (procs + 1) / 2
+		return simnetConfig{
+			fabric: simnet.NewSMPCluster(simnet.SMPClusterConfig{
+				Nodes: nodes, ProcsPerNode: 2,
+				BusBandwidth:     780e6, // per-hub memory bandwidth
+				IntraCopies:      2,
+				AdapterBandwidth: 600e6, // CrayLink
+				IntraLatency:     us(4),
+				InterLatency:     us(10),
+			}),
+			cfg: simnet.Config{
+				TxBandwidth:      300e6,
+				RxBandwidth:      300e6,
+				PortBandwidth:    260e6,
+				SendOverhead:     us(8),
+				RecvOverhead:     us(8),
+				MemCopyBandwidth: 400e6,
+			},
+		}
+	},
+	FS: &simfs.Config{
+		Name:               "XFS striped (synthetic: no config published)",
+		Servers:            6,
+		StripeUnit:         512 * kB,
+		BlockSize:          64 * kB,
+		WriteBandwidth:     35e6,
+		ReadBandwidth:      40e6,
+		SeekTime:           6 * des.Millisecond,
+		RequestOverhead:    150 * des.Microsecond,
+		OpenCost:           4 * des.Millisecond,
+		CloseCost:          3 * des.Millisecond,
+		Clients:            128,
+		CacheSizePerServer: 48 * mB,
+		MemoryBandwidth:    400e6,
+		AllocPerBlock:      40 * des.Microsecond,
+	},
+})
+
+// IBMP2SC models the IBM P2SC nodes of reference [10]: single-processor
+// POWER2 Super Chip nodes on the SP switch.
+var IBMP2SC = register(&Profile{
+	Key:           "p2sc",
+	Name:          "IBM P2SC (SP switch)",
+	Class:         DistributedMemory,
+	MaxProcs:      64,
+	SMPNodeSize:   1,
+	MemoryPerProc: 256 * mB, // L_max = 2 MB
+	RmaxPerProcGF: 0.43,
+	buildFabric: func(procs int) simnetConfig {
+		return simnetConfig{
+			fabric: simnet.NewCrossbar(procs, 0, us(15)),
+			cfg: simnet.Config{
+				TxBandwidth:      110e6, // TB3 switch era
+				RxBandwidth:      110e6,
+				PortBandwidth:    90e6,
+				SendOverhead:     us(12),
+				RecvOverhead:     us(12),
+				MemCopyBandwidth: 350e6,
+			},
+		}
+	},
+})
+
+// MyrinetCluster is a circa-2000 commodity cluster on a Myrinet-style
+// fat-tree switch: the "Top Clusters" audience of the paper's §6. The
+// 2:1 oversubscribed switch makes cross-leaf bisection patterns
+// measurably worse than neighbour rings — visible in the b_eff
+// analysis patterns.
+var MyrinetCluster = register(&Profile{
+	Key:           "myrinet",
+	Name:          "Myrinet commodity cluster",
+	Class:         DistributedMemory,
+	MaxProcs:      64,
+	SMPNodeSize:   1,
+	MemoryPerProc: 512 * mB, // L_max = 4 MB
+	RmaxPerProcGF: 0.8,
+	buildFabric: func(procs int) simnetConfig {
+		return simnetConfig{
+			fabric: simnet.NewFatTree(simnet.FatTreeConfig{
+				Procs:    procs,
+				LeafSize: 8,
+				Uplinks:  4,
+				LinkBW:   160e6,
+				IntraLat: us(7),
+				InterLat: us(11),
+			}),
+			cfg: simnet.Config{
+				TxBandwidth:      160e6,
+				RxBandwidth:      160e6,
+				PortBandwidth:    140e6,
+				SendOverhead:     us(9),
+				RecvOverhead:     us(9),
+				MemCopyBandwidth: 800e6,
+			},
+		}
+	},
+	FS: &simfs.Config{
+		Name:               "PVFS-style striped fs (synthetic)",
+		Servers:            8,
+		StripeUnit:         64 * kB,
+		BlockSize:          16 * kB,
+		WriteBandwidth:     25e6,
+		ReadBandwidth:      30e6,
+		SeekTime:           8 * des.Millisecond,
+		RequestOverhead:    250 * des.Microsecond,
+		OpenCost:           6 * des.Millisecond,
+		CloseCost:          4 * des.Millisecond,
+		Clients:            64,
+		ClientBandwidth:    60e6,
+		CacheSizePerServer: 16 * mB,
+		MemoryBandwidth:    800e6,
+		AllocPerBlock:      60 * des.Microsecond,
+	},
+})
+
+// GenericCluster is a small commodity cluster for examples, tests and
+// quickstarts: not a paper machine.
+var GenericCluster = register(&Profile{
+	Key:           "cluster",
+	Name:          "Generic commodity cluster",
+	Class:         DistributedMemory,
+	MaxProcs:      64,
+	SMPNodeSize:   1,
+	MemoryPerProc: 512 * mB,
+	RmaxPerProcGF: 1.0,
+	buildFabric: func(procs int) simnetConfig {
+		return simnetConfig{
+			fabric: simnet.NewCrossbar(procs, 0, us(20)),
+			cfg: simnet.Config{
+				TxBandwidth:      100e6,
+				RxBandwidth:      100e6,
+				SendOverhead:     us(15),
+				RecvOverhead:     us(15),
+				MemCopyBandwidth: 1e9,
+			},
+		}
+	},
+	FS: &simfs.Config{
+		Name:               "generic NFS-ish striped fs",
+		Servers:            4,
+		StripeUnit:         256 * kB,
+		BlockSize:          64 * kB,
+		WriteBandwidth:     50e6,
+		ReadBandwidth:      60e6,
+		SeekTime:           7 * des.Millisecond,
+		RequestOverhead:    200 * des.Microsecond,
+		OpenCost:           5 * des.Millisecond,
+		CloseCost:          3 * des.Millisecond,
+		Clients:            64,
+		ClientBandwidth:    80e6,
+		CacheSizePerServer: 16 * mB,
+		MemoryBandwidth:    1e9,
+		AllocPerBlock:      50 * des.Microsecond,
+	},
+})

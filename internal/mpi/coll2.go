@@ -1,0 +1,95 @@
+package mpi
+
+// Additional collectives beyond the b_eff/b_eff_io working set:
+// scatter, variable-length gather, reduce-scatter and dense all-to-all.
+// They round out the runtime for downstream users and are exercised by
+// the test suite; the benchmarks themselves do not depend on them.
+
+// ScatterInt64 distributes equal-length blocks of root's data to every
+// rank (linear algorithm): rank i receives data[i*blk:(i+1)*blk].
+// Non-roots pass nil data; blk is the per-rank block length.
+func (c *Comm) ScatterInt64(root int, data []int64, blk int) []int64 {
+	n := c.Size()
+	out := make([]int64, blk)
+	if c.rank == root {
+		if len(data) < n*blk {
+			c.Proc().Fail("mpi: Scatter root needs %d elements, has %d", n*blk, len(data))
+		}
+		buf := make([]byte, 8*blk)
+		for r := 0; r < n; r++ {
+			block := data[r*blk : (r+1)*blk]
+			if r == root {
+				copy(out, block)
+				continue
+			}
+			encodeInt64s(buf, block)
+			c.Send(r, tagScatter, buf)
+		}
+		return out
+	}
+	buf := make([]byte, 8*blk)
+	c.Recv(root, tagScatter, buf)
+	decodeInt64s(out, buf)
+	return out
+}
+
+// GathervInt64 gathers variable-length slices to root, concatenated in
+// rank order; returns (data, offsets) at root and (nil, nil) elsewhere.
+// offsets[i] is where rank i's contribution starts.
+func (c *Comm) GathervInt64(root int, mine []int64) ([]int64, []int) {
+	n := c.Size()
+	// Exchange lengths first, as MPI_Gatherv callers do.
+	lens := c.GatherInt64(root, []int64{int64(len(mine))})
+	if c.rank != root {
+		buf := make([]byte, 8*len(mine))
+		encodeInt64s(buf, mine)
+		c.Send(root, tagGather+1, buf)
+		return nil, nil
+	}
+	offsets := make([]int, n)
+	total := 0
+	for r := 0; r < n; r++ {
+		offsets[r] = total
+		total += int(lens[r])
+	}
+	out := make([]int64, total)
+	copy(out[offsets[root]:], mine)
+	for r := 0; r < n; r++ {
+		if r == root {
+			continue
+		}
+		ln := int(lens[r])
+		if ln == 0 {
+			continue
+		}
+		buf := make([]byte, 8*ln)
+		c.Recv(r, tagGather+1, buf)
+		decodeInt64s(out[offsets[r]:offsets[r]+ln], buf)
+	}
+	return out, offsets
+}
+
+// ReduceScatterInt64 reduces xs element-wise across ranks and scatters
+// the result in equal blocks: rank i receives elements [i*blk,(i+1)*blk)
+// of the reduction. len(xs) must equal Size()*blk. Implemented as
+// reduce-to-root plus scatter, the classic simple algorithm.
+func (c *Comm) ReduceScatterInt64(op Op, xs []int64, blk int) []int64 {
+	n := c.Size()
+	if len(xs) != n*blk {
+		c.Proc().Fail("mpi: ReduceScatter needs %d elements, has %d", n*blk, len(xs))
+	}
+	full := c.reduceInt64(0, op, xs)
+	return c.ScatterInt64(0, full, blk)
+}
+
+// AlltoallBytes performs a timing-only dense personalised all-to-all:
+// every rank sends count bytes to every other rank (pairwise exchange).
+func (c *Comm) AlltoallBytes(count int64) {
+	n := c.Size()
+	send := make([]int64, n)
+	recv := make([]int64, n)
+	for i := range send {
+		send[i], recv[i] = count, count
+	}
+	c.AlltoallvBytes(send, recv)
+}

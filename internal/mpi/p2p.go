@@ -1,0 +1,298 @@
+package mpi
+
+import (
+	"github.com/hpcbench/beff/internal/des"
+)
+
+// Status describes a completed receive.
+type Status struct {
+	Source int // rank within the receiving communicator's group
+	Tag    int
+	Size   int64
+}
+
+// message is the envelope travelling between ranks. Matching happens on
+// (ctx, src, tag); timing on availAt and the rendezvous fields.
+type message struct {
+	ctx     int
+	src     int // world rank of sender
+	tag     int
+	size    int64
+	data    []byte   // nil for timing-only traffic
+	availAt des.Time // eager: payload arrival; rendezvous: RTS arrival
+
+	rendezvous bool
+	sendReq    *Request // rendezvous: sender's request, completed at bind
+	bound      bool
+}
+
+type reqKind int8
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+)
+
+// Request is a nonblocking operation handle, akin to MPI_Request.
+type Request struct {
+	kind reqKind
+	comm *Comm
+	done bool
+	at   des.Time // completion time once done
+	msg  *message // recv: the bound message
+	buf  []byte   // recv: destination buffer
+	// matching criteria for a posted receive (world-rank src or AnySource)
+	src, tag, ctx int
+	status        Status
+}
+
+// Done reports whether the operation has completed (its completion time
+// may still be in the caller's future).
+func (r *Request) Done() bool { return r.done }
+
+// ---------------------------------------------------------------------
+// Sending
+
+// Isend starts a nonblocking send of data to rank dst (communicator
+// rank) with the given tag and returns immediately after the CPU-side
+// submission cost. Complete it with Wait or Waitall.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	return c.isend(dst, tag, int64(len(data)), data)
+}
+
+// IsendBytes is Isend for timing-only payloads of n bytes: no user data
+// is carried, which is what a bandwidth benchmark needs.
+func (c *Comm) IsendBytes(dst, tag int, n int64) *Request {
+	return c.isend(dst, tag, n, nil)
+}
+
+func (c *Comm) isend(dst, tag int, size int64, data []byte) *Request {
+	if dst == ProcNull {
+		return &Request{kind: reqSend, comm: c, done: true, at: c.Proc().Now()}
+	}
+	if dst < 0 || dst >= len(c.group) {
+		c.Proc().Fail("mpi: Isend to invalid rank %d in communicator of size %d", dst, len(c.group))
+	}
+	if size < 0 {
+		c.Proc().Fail("mpi: Isend with negative size %d", size)
+	}
+	w := c.world
+	p := c.Proc()
+	srcWorld := c.group[c.rank]
+	dstWorld := c.group[dst]
+	sp, dp := w.phys(srcWorld), w.phys(dstWorld)
+
+	req := &Request{kind: reqSend, comm: c}
+	m := &message{ctx: c.ctx, src: srcWorld, tag: tag, size: size}
+	if size <= w.cfg.EagerLimit {
+		// Eager: inject now; the payload is buffered so the sender is
+		// free as soon as injection ends.
+		if data != nil {
+			m.data = append([]byte(nil), data...)
+		}
+		senderFree, arrival := w.net.Transfer(sp, dp, size, p.Now())
+		m.availAt = arrival
+		req.done = true
+		req.at = senderFree
+	} else {
+		// Rendezvous: a small ready-to-send control message travels to
+		// the receiver; the payload moves once the receiver matches.
+		m.rendezvous = true
+		m.sendReq = req
+		m.data = data // referenced, copied out at delivery
+		m.availAt = p.Now().Add(w.net.Latency(sp, dp))
+	}
+	w.deliver(dstWorld, m)
+	// CPU submission cost: the same software overhead the network model
+	// charges before injection.
+	p.Sleep(w.net.Config().SendOverhead)
+	return req
+}
+
+// Send is a blocking send: Isend followed by Wait.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	c.Wait(c.Isend(dst, tag, data))
+}
+
+// SendBytes is a blocking timing-only send of n bytes.
+func (c *Comm) SendBytes(dst, tag int, n int64) {
+	c.Wait(c.IsendBytes(dst, tag, n))
+}
+
+// ---------------------------------------------------------------------
+// Receiving
+
+// Irecv posts a nonblocking receive into buf from rank src (or
+// AnySource) with the given tag (or AnyTag). The message size may be
+// smaller than buf; larger messages fail the simulation (truncation is
+// an error, as in MPI).
+func (c *Comm) Irecv(src, tag int, buf []byte) *Request {
+	return c.irecv(src, tag, buf)
+}
+
+// IrecvBytes posts a timing-only receive.
+func (c *Comm) IrecvBytes(src, tag int) *Request {
+	return c.irecv(src, tag, nil)
+}
+
+func (c *Comm) irecv(src, tag int, buf []byte) *Request {
+	if src == ProcNull {
+		return &Request{kind: reqRecv, comm: c, done: true, at: c.Proc().Now(),
+			status: Status{Source: ProcNull, Tag: AnyTag}}
+	}
+	if src != AnySource && (src < 0 || src >= len(c.group)) {
+		c.Proc().Fail("mpi: Irecv from invalid rank %d in communicator of size %d", src, len(c.group))
+	}
+	w := c.world
+	srcWorld := AnySource
+	if src != AnySource {
+		srcWorld = c.group[src]
+	}
+	me := c.group[c.rank]
+	req := &Request{kind: reqRecv, comm: c, src: srcWorld, tag: tag, ctx: c.ctx, buf: buf}
+	st := w.ranks[me]
+	// Try the unexpected-message queue first, in send order.
+	for i, m := range st.inbox {
+		if req.matches(m) {
+			st.inbox = append(st.inbox[:i], st.inbox[i+1:]...)
+			w.bind(m, req)
+			return req
+		}
+	}
+	st.posted = append(st.posted, req)
+	return req
+}
+
+// Recv is a blocking receive; it returns the matched message's status.
+func (c *Comm) Recv(src, tag int, buf []byte) Status {
+	return c.Wait(c.Irecv(src, tag, buf))
+}
+
+// RecvBytes is a blocking timing-only receive.
+func (c *Comm) RecvBytes(src, tag int) Status {
+	return c.Wait(c.IrecvBytes(src, tag))
+}
+
+func (r *Request) matches(m *message) bool {
+	if m.ctx != r.ctx {
+		return false
+	}
+	if r.src != AnySource && m.src != r.src {
+		return false
+	}
+	if r.tag != AnyTag && m.tag != r.tag {
+		return false
+	}
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Delivery and matching (runs in the sender's context)
+
+// deliver hands a message to the destination rank: bind to a posted
+// receive if one matches, otherwise queue as unexpected. Always wakes
+// the destination so blocked Waits re-check.
+func (w *World) deliver(dstWorld int, m *message) {
+	st := w.ranks[dstWorld]
+	for i, req := range st.posted {
+		if req.matches(m) {
+			st.posted = append(st.posted[:i], st.posted[i+1:]...)
+			w.bind(m, req)
+			return
+		}
+	}
+	st.inbox = append(st.inbox, m)
+	st.wake.WakeAt(m.availAt)
+}
+
+// bind joins a message to a receive request. For rendezvous messages
+// this is the moment the payload transfer is scheduled: the receiver's
+// clear-to-send travels back, then the data crosses the network,
+// reserving bandwidth along its path.
+func (w *World) bind(m *message, req *Request) {
+	m.bound = true
+	req.msg = m
+	st := w.ranks[req.comm.group[req.comm.rank]]
+	if !m.rendezvous {
+		req.done = true
+		req.at = m.availAt
+		st.wake.WakeAt(m.availAt)
+		return
+	}
+	sp := w.phys(m.src)
+	dp := w.phys(req.comm.group[req.comm.rank])
+	now := w.eng.Now()
+	rtsSeen := m.availAt
+	if now > rtsSeen {
+		rtsSeen = now
+	}
+	ctsArrive := rtsSeen.Add(w.net.Latency(dp, sp))
+	senderFree, arrival := w.net.Transfer(sp, dp, m.size, ctsArrive)
+	m.availAt = arrival
+	m.sendReq.done = true
+	m.sendReq.at = senderFree
+	sst := w.ranks[m.src]
+	sst.wake.WakeAt(senderFree)
+	req.done = true
+	req.at = arrival
+	st.wake.WakeAt(arrival)
+}
+
+// ---------------------------------------------------------------------
+// Completion
+
+// Wait blocks until the request completes and returns its status (zero
+// Status for sends). For receives the payload, if any, is copied into
+// the posted buffer.
+func (c *Comm) Wait(r *Request) Status {
+	p := c.Proc()
+	me := c.group[c.rank]
+	st := c.world.ranks[me]
+	if r.kind == reqSend {
+		sst := c.world.ranks[r.comm.group[r.comm.rank]]
+		p.WaitFor(sst.wake, func() bool { return r.done })
+	} else {
+		p.WaitFor(st.wake, func() bool { return r.done })
+	}
+	if r.at > p.Now() {
+		p.SleepUntil(r.at)
+	}
+	if r.kind == reqRecv && r.msg != nil {
+		m := r.msg
+		if m.data != nil && r.buf != nil {
+			if int64(len(r.buf)) < m.size {
+				p.Fail("mpi: message of %d bytes truncated into %d-byte buffer (src %d tag %d)",
+					m.size, len(r.buf), m.src, m.tag)
+			}
+			copy(r.buf, m.data)
+		}
+		r.status = Status{Source: r.comm.groupRankOf(m.src), Tag: m.tag, Size: m.size}
+	}
+	return r.status
+}
+
+// Waitall completes all requests.
+func (c *Comm) Waitall(rs []*Request) {
+	for _, r := range rs {
+		c.Wait(r)
+	}
+}
+
+// Sendrecv performs a simultaneous send and receive, the way
+// MPI_Sendrecv does: both directions may overlap.
+func (c *Comm) Sendrecv(dst, stag int, sdata []byte, src, rtag int, rbuf []byte) Status {
+	rr := c.Irecv(src, rtag, rbuf)
+	sr := c.Isend(dst, stag, sdata)
+	st := c.Wait(rr)
+	c.Wait(sr)
+	return st
+}
+
+// SendrecvBytes is the timing-only variant of Sendrecv.
+func (c *Comm) SendrecvBytes(dst, stag int, sn int64, src, rtag int) Status {
+	rr := c.IrecvBytes(src, rtag)
+	sr := c.IsendBytes(dst, stag, sn)
+	st := c.Wait(rr)
+	c.Wait(sr)
+	return st
+}

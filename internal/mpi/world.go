@@ -1,0 +1,129 @@
+// Package mpi is a message-passing runtime with MPI semantics running on
+// the deterministic event engine of internal/des and charging time
+// against the network model of internal/simnet. It provides what the
+// b_eff and b_eff_io benchmarks need from a real MPI: point-to-point
+// communication with eager and rendezvous protocols, nonblocking
+// operations, the collectives used by the benchmarks (Barrier, Bcast,
+// Reduce, Allreduce, Gather, Allgather, Alltoallv), communicator
+// duplication and splitting, Cartesian topologies, and a virtual Wtime.
+//
+// Ranks are goroutines inside a des.Engine; exactly one runs at a time,
+// so simulations are deterministic and race-free by construction.
+package mpi
+
+import (
+	"fmt"
+
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/simnet"
+)
+
+// AnySource and AnyTag are the wildcard values for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// internalTagBase is the start of the tag space reserved for collective
+// algorithms. User tags must stay below it.
+const internalTagBase = 1 << 20
+
+// DefaultEagerLimit is the message size (bytes) up to which the eager
+// protocol is used; larger messages use rendezvous. 16 kB is a typical
+// production MPI default.
+const DefaultEagerLimit = 16 * 1024
+
+// WorldConfig describes the machine a World runs on.
+type WorldConfig struct {
+	// Net is the communication subsystem (required).
+	Net *simnet.Net
+
+	// Placement maps rank → physical processor. nil means identity.
+	// Machine profiles use this for SMP round-robin vs sequential
+	// process numbering, which the paper shows changes b_eff heavily on
+	// the Hitachi SR 8000.
+	Placement []int
+
+	// EagerLimit is the eager/rendezvous protocol switch point in
+	// bytes; zero means DefaultEagerLimit.
+	EagerLimit int64
+
+	// Procs is the number of MPI processes. Zero means one process per
+	// physical processor of Net.
+	Procs int
+}
+
+// World owns the shared state of one MPI job.
+type World struct {
+	cfg     WorldConfig
+	eng     *des.Engine
+	net     *simnet.Net
+	size    int
+	ranks   []*rankState
+	nextCtx int
+}
+
+// rankState is the per-rank message-passing state.
+type rankState struct {
+	proc   *des.Proc
+	inbox  []*message // unexpected messages, in send order
+	posted []*Request // posted receives, in post order
+	wake   *des.Cond  // broadcast on any delivery or completion
+}
+
+// Run builds a World of n ranks on the given configuration, runs body
+// once per rank, and returns when all ranks have finished. It is the
+// only entry point: a World cannot outlive its engine run.
+func Run(cfg WorldConfig, body func(c *Comm)) error {
+	if cfg.Net == nil {
+		return fmt.Errorf("mpi: WorldConfig.Net is required")
+	}
+	n := cfg.Procs
+	if n == 0 {
+		n = cfg.Net.NumProcs()
+	}
+	if n < 1 {
+		return fmt.Errorf("mpi: need at least one process, got %d", n)
+	}
+	if cfg.Placement != nil && len(cfg.Placement) != n {
+		return fmt.Errorf("mpi: placement has %d entries for %d ranks", len(cfg.Placement), n)
+	}
+	for _, p := range cfg.Placement {
+		if p < 0 || p >= cfg.Net.NumProcs() {
+			return fmt.Errorf("mpi: placement entry %d out of range [0,%d)", p, cfg.Net.NumProcs())
+		}
+	}
+	if cfg.EagerLimit == 0 {
+		cfg.EagerLimit = DefaultEagerLimit
+	}
+	eng := des.NewEngine()
+	w := &World{cfg: cfg, eng: eng, net: cfg.Net, size: n, nextCtx: 1}
+	w.ranks = make([]*rankState, n)
+	for i := range w.ranks {
+		w.ranks[i] = &rankState{wake: eng.NewCond(fmt.Sprintf("rank %d mailbox", i))}
+	}
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	return eng.Run(n, func(p *des.Proc) {
+		p.SetLabel(fmt.Sprintf("rank %d", p.ID()))
+		w.ranks[p.ID()].proc = p
+		c := &Comm{world: w, ctx: 0, rank: p.ID(), group: group}
+		body(c)
+	})
+}
+
+// phys maps a world rank to its physical processor.
+func (w *World) phys(worldRank int) int {
+	if w.cfg.Placement == nil {
+		return worldRank
+	}
+	return w.cfg.Placement[worldRank]
+}
+
+// Size reports the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Net exposes the network for diagnostics.
+func (w *World) Net() *simnet.Net { return w.net }

@@ -1,0 +1,381 @@
+package mpiio
+
+import (
+	"sort"
+
+	"github.com/hpcbench/beff/internal/mpi"
+)
+
+// coordination is the shared state behind a file's collective calls.
+// MPI requires all ranks to issue collective operations in the same
+// order, so each rank numbers its collective calls locally and the
+// numbers agree; deposits and plans are keyed by that sequence number.
+type coordination struct {
+	calls map[int64]*callState
+}
+
+func newCoordination() *coordination {
+	return &coordination{calls: map[int64]*callState{}}
+}
+
+type callState struct {
+	deposits map[int][]extent
+	plan     *tpPlan
+	finished int
+
+	// ordered-access bookkeeping (WriteOrdered/ReadOrdered)
+	orderedClaimed bool
+	orderedBase    int64
+}
+
+func (co *coordination) state(seq int64) *callState {
+	cs := co.calls[seq]
+	if cs == nil {
+		cs = &callState{deposits: map[int][]extent{}}
+		co.calls[seq] = cs
+	}
+	return cs
+}
+
+// tpPlan is a two-phase transfer plan: who sends how much to which
+// aggregator, and the merged extent runs each aggregator accesses.
+type tpPlan struct {
+	send map[int][]int64  // rank → per-destination byte counts
+	recv map[int][]int64  // rank → per-source byte counts
+	runs map[int][]extent // aggregator rank → merged extents in its domain
+}
+
+// aggregatorRanks spreads a aggregators evenly over size ranks.
+func aggregatorRanks(a, size int) []int {
+	if a > size {
+		a = size
+	}
+	out := make([]int, a)
+	for i := 0; i < a; i++ {
+		out[i] = i * size / a
+	}
+	return out
+}
+
+// makePlan partitions [lo,hi) into file domains aligned to the stripe
+// unit and assigns each rank's extents to the owning aggregators.
+func (f *File) makePlan(cs *callState) *tpPlan {
+	size := f.comm.Size()
+	var lo, hi int64 = -1, 0
+	for _, exts := range cs.deposits {
+		for _, e := range exts {
+			if lo < 0 || e.off < lo {
+				lo = e.off
+			}
+			if e.off+e.size > hi {
+				hi = e.off + e.size
+			}
+		}
+	}
+	plan := &tpPlan{
+		send: map[int][]int64{},
+		recv: map[int][]int64{},
+		runs: map[int][]extent{},
+	}
+	for r := 0; r < size; r++ {
+		plan.send[r] = make([]int64, size)
+		plan.recv[r] = make([]int64, size)
+	}
+	if lo < 0 || hi <= lo {
+		return plan // nothing to move
+	}
+	aggs := aggregatorRanks(f.info.Aggregators, size)
+	stripe := f.fs.Config().StripeUnit
+	span := hi - lo
+	chunk := (span + int64(len(aggs)) - 1) / int64(len(aggs))
+	if rem := chunk % stripe; rem != 0 {
+		chunk += stripe - rem
+	}
+	domainOf := func(i int) (dlo, dhi int64) {
+		dlo = lo + int64(i)*chunk
+		dhi = dlo + chunk
+		if dhi > hi {
+			dhi = hi
+		}
+		return
+	}
+	// Sends: each rank's extents overlapped with each domain.
+	for r, exts := range cs.deposits {
+		for i, agg := range aggs {
+			dlo, dhi := domainOf(i)
+			if dlo >= dhi {
+				continue
+			}
+			var bytes int64
+			for _, e := range exts {
+				bytes += overlap(e.off, e.off+e.size, dlo, dhi)
+			}
+			if bytes > 0 {
+				plan.send[r][agg] += bytes
+				plan.recv[agg][r] += bytes
+			}
+		}
+	}
+	// Aggregator runs: merge all extents within each domain.
+	for i, agg := range aggs {
+		dlo, dhi := domainOf(i)
+		if dlo >= dhi {
+			continue
+		}
+		var clipped []extent
+		for _, exts := range cs.deposits {
+			for _, e := range exts {
+				s, t := maxI64(e.off, dlo), minI64(e.off+e.size, dhi)
+				if t > s {
+					clipped = append(clipped, extent{s, t - s})
+				}
+			}
+		}
+		plan.runs[agg] = mergeExtents(clipped)
+	}
+	return plan
+}
+
+func overlap(alo, ahi, blo, bhi int64) int64 {
+	lo, hi := maxI64(alo, blo), minI64(ahi, bhi)
+	if hi > lo {
+		return hi - lo
+	}
+	return 0
+}
+
+// mergeExtents sorts and coalesces overlapping or adjacent extents.
+func mergeExtents(exts []extent) []extent {
+	if len(exts) == 0 {
+		return nil
+	}
+	sort.Slice(exts, func(i, j int) bool {
+		if exts[i].off != exts[j].off {
+			return exts[i].off < exts[j].off
+		}
+		return exts[i].size < exts[j].size
+	})
+	out := exts[:1]
+	for _, e := range exts[1:] {
+		last := &out[len(out)-1]
+		if e.off <= last.off+last.size {
+			if end := e.off + e.size; end > last.off+last.size {
+				last.size = end - last.off
+			}
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// twoPhase executes one collective transfer: synchronise, build the
+// plan once, redistribute data over the network, and let aggregators
+// access their merged file domains in collective-buffer-sized slices.
+func (f *File) twoPhase(seq int64, exts []extent, write bool) {
+	c := f.comm
+	co := f.sh.coord
+	cs := co.state(seq)
+	cs.deposits[c.Rank()] = exts
+
+	// Synchronisation doubling as the offset/shape exchange of real
+	// two-phase implementations: after this, every deposit is visible.
+	var myLo, myHi int64 = 1 << 62, 0
+	for _, e := range exts {
+		if e.off < myLo {
+			myLo = e.off
+		}
+		if e.off+e.size > myHi {
+			myHi = e.off + e.size
+		}
+	}
+	c.AllreduceInt64(mpi.OpMax, []int64{myHi - myLo})
+
+	if cs.plan == nil {
+		cs.plan = f.makePlan(cs)
+	}
+	plan := cs.plan
+
+	// Phase one: redistribute the payload between ranks and their
+	// aggregators (for reads this happens after the disk phase on real
+	// systems; the cost is symmetric, so we charge the same traffic).
+	c.AlltoallvBytes(plan.send[c.Rank()], plan.recv[c.Rank()])
+
+	// Phase two: aggregators access their file domains.
+	if runs := plan.runs[c.Rank()]; len(runs) > 0 {
+		p := c.Proc()
+		client := f.clientID()
+		bufSize := f.info.CollBufferSize
+		for _, run := range runs {
+			off, left := run.off, run.size
+			for left > 0 {
+				n := left
+				if n > bufSize {
+					n = bufSize
+				}
+				if write {
+					f.sf.WriteAt(p, client, off, n, nil)
+				} else {
+					f.sf.ReadAt(p, client, off, n)
+				}
+				off += n
+				left -= n
+			}
+		}
+	}
+	c.Barrier()
+	cs.finished++
+	if cs.finished == c.Size() {
+		delete(co.calls, seq)
+	}
+}
+
+// degradedCollective is the NoCollectiveBuffering path: independent
+// accesses plus the collective synchronisation.
+func (f *File) degradedCollective(exts []extent, write bool, data []byte) {
+	p := f.comm.Proc()
+	client := f.clientID()
+	var cursor int64
+	for _, e := range exts {
+		if write {
+			f.sf.WriteAt(p, client, e.off, e.size, nil)
+			if data != nil && cursor < int64(len(data)) {
+				end := minI64(cursor+e.size, int64(len(data)))
+				f.sf.StoreContent(e.off, data[cursor:end])
+			}
+		} else {
+			f.sf.ReadAt(p, client, e.off, e.size)
+		}
+		cursor += e.size
+	}
+	f.comm.Barrier()
+}
+
+// ---------------------------------------------------------------------
+// Collective API
+
+// WriteAllAt is the collective write at an explicit view-relative
+// offset (MPI_File_write_at_all). All ranks must call it.
+func (f *File) WriteAllAt(off, size int64, data []byte) {
+	f.checkWrite()
+	f.collectiveAccess(off, size, data, true)
+}
+
+// ReadAllAt is the collective read at an explicit view-relative offset
+// (MPI_File_read_at_all).
+func (f *File) ReadAllAt(off, size int64) {
+	f.checkRead()
+	f.collectiveAccess(off, size, nil, false)
+}
+
+// WriteAll writes collectively at the individual file pointer and
+// advances it (MPI_File_write_all).
+func (f *File) WriteAll(size int64, data []byte) {
+	f.WriteAllAt(f.ptr, size, data)
+	f.ptr += size
+}
+
+// ReadAll reads collectively at the individual file pointer and
+// advances it (MPI_File_read_all).
+func (f *File) ReadAll(size int64) {
+	f.ReadAllAt(f.ptr, size)
+	f.ptr += size
+}
+
+func (f *File) collectiveAccess(off, size int64, data []byte, write bool) {
+	exts := f.view.extents(off, size)
+	if write && data != nil {
+		var cursor int64
+		for _, e := range exts {
+			if cursor >= int64(len(data)) {
+				break
+			}
+			end := minI64(cursor+e.size, int64(len(data)))
+			f.sf.StoreContent(e.off, data[cursor:end])
+			cursor += e.size
+		}
+	}
+	if f.info.NoCollectiveBuffering {
+		f.degradedCollective(exts, write, nil)
+		return
+	}
+	seq := f.nextSeq()
+	f.twoPhase(seq, exts, write)
+}
+
+// WriteOrdered writes collectively at the shared file pointer in rank
+// order (MPI_File_write_ordered): rank r's data lands after the data of
+// all lower ranks, and the shared pointer advances by the total.
+func (f *File) WriteOrdered(size int64, data []byte) {
+	f.checkWrite()
+	f.orderedAccess(size, data, true)
+}
+
+// ReadOrdered reads collectively at the shared file pointer in rank
+// order (MPI_File_read_ordered).
+func (f *File) ReadOrdered(size int64) {
+	f.checkRead()
+	f.orderedAccess(size, nil, false)
+}
+
+func (f *File) orderedAccess(size int64, data []byte, write bool) {
+	c := f.comm
+	seq := f.nextSeq()
+	// Each rank's ordered offset is the exclusive prefix sum of the
+	// request sizes — computed with MPI_Exscan + MPI_Allreduce, the way
+	// MPI_File_write_ordered implementations do it.
+	prefix := c.ExscanInt64(mpi.OpSum, []int64{size})[0]
+	total := c.AllreduceInt64(mpi.OpSum, []int64{size})[0]
+	// The first rank past the size exchange claims the current shared
+	// pointer as this call's base and advances it for the whole group;
+	// everyone else reads the recorded base. Execution order between
+	// ranks therefore cannot skew the offsets.
+	cs := f.sh.coord.state(seq)
+	if !cs.orderedClaimed {
+		cs.orderedBase = f.sh.sharedPtr
+		f.sh.sharedPtr += total
+		cs.orderedClaimed = true
+	}
+	myOff := cs.orderedBase + prefix
+
+	exts := f.view.extents(myOff, size)
+	if write && data != nil {
+		var cursor int64
+		for _, e := range exts {
+			if cursor >= int64(len(data)) {
+				break
+			}
+			end := minI64(cursor+e.size, int64(len(data)))
+			f.sf.StoreContent(e.off, data[cursor:end])
+			cursor += e.size
+		}
+	}
+	if f.info.NoCollectiveBuffering {
+		f.degradedCollective(exts, write, nil)
+		cs.finished++
+		if cs.finished == c.Size() {
+			delete(f.sh.coord.calls, seq)
+		}
+		return
+	}
+	f.twoPhase(seq, exts, write)
+}
+
+func (f *File) nextSeq() int64 {
+	f.collSeq++
+	return f.collSeq
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

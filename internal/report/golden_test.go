@@ -1,0 +1,53 @@
+package report
+
+// Golden tests: the full rendered protocols of a fixed small scenario
+// are compared byte-for-byte against testdata snapshots. Because the
+// whole stack is deterministic, any diff means an intentional change —
+// regenerate with:
+//
+//	go test ./internal/report -run TestGolden -update
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden snapshot.\nIf the change is intentional, regenerate with -update.\ngot %d bytes, want %d bytes", name, len(got), len(want))
+	}
+}
+
+func TestGoldenBeffProtocol(t *testing.T) {
+	res := sampleBeff(t)
+	checkGolden(t, "beff_protocol.golden", BeffProtocol(res))
+}
+
+func TestGoldenBeffIOProtocol(t *testing.T) {
+	res := sampleBeffIO(t)
+	checkGolden(t, "beffio_protocol.golden", BeffIOProtocol(res))
+}
+
+func TestGoldenTable1(t *testing.T) {
+	res := sampleBeff(t)
+	checkGolden(t, "table1.golden", Table1([]Table1Row{FromBeff("Golden machine", res)}))
+}

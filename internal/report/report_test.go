@@ -1,0 +1,262 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/mpi"
+	"github.com/hpcbench/beff/internal/simfs"
+	"github.com/hpcbench/beff/internal/simnet"
+)
+
+func sampleBeff(t *testing.T) *core.Result {
+	t.Helper()
+	net := simnet.New(simnet.Config{
+		Fabric:       simnet.NewCrossbar(4, 0, 2*des.Microsecond),
+		TxBandwidth:  100e6,
+		RxBandwidth:  100e6,
+		SendOverhead: 5 * des.Microsecond,
+		RecvOverhead: 5 * des.Microsecond,
+	})
+	res, err := core.Run(mpi.WorldConfig{Net: net},
+		core.Options{MemoryPerProc: 64 << 20, MaxLooplength: 1, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func sampleBeffIO(t *testing.T) *beffio.Result {
+	t.Helper()
+	net := simnet.New(simnet.Config{
+		Fabric:       simnet.NewCrossbar(2, 0, 2*des.Microsecond),
+		TxBandwidth:  200e6,
+		RxBandwidth:  200e6,
+		SendOverhead: 3 * des.Microsecond,
+		RecvOverhead: 3 * des.Microsecond,
+	})
+	fs := simfs.MustNew(simfs.Config{
+		Name: "fs", Servers: 2, StripeUnit: 256 << 10, BlockSize: 64 << 10,
+		WriteBandwidth: 100e6, ReadBandwidth: 100e6,
+		SeekTime: des.Millisecond, RequestOverhead: 50 * des.Microsecond,
+		OpenCost: des.Millisecond, CloseCost: des.Millisecond,
+		Clients: 2, CacheSizePerServer: 8 << 20, MemoryBandwidth: 1e9,
+	})
+	res, err := beffio.Run(mpi.WorldConfig{Net: net}, fs,
+		beffio.Options{T: 2 * des.Second, MPart: 2 << 20, MaxRepsPerPattern: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTable1Rendering(t *testing.T) {
+	res := sampleBeff(t)
+	out := Table1([]Table1Row{FromBeff("Test machine", res)})
+	for _, want := range []string{"Test machine", "b_eff", "ping-pong", "ring pat.@Lmax"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("expected header + units + 1 row, got %d lines", len(lines))
+	}
+}
+
+func TestTable1EmptyPingPongDash(t *testing.T) {
+	out := Table1([]Table1Row{{System: "X", Procs: 2, Beff: 5e6, Lmax: 1 << 20}})
+	if !strings.Contains(out, "-") {
+		t.Error("missing ping-pong should render as dash")
+	}
+}
+
+func TestBalanceChart(t *testing.T) {
+	rows := []BalanceRow{
+		{System: "A", Procs: 16, Beff: 1000e6, RmaxGF: 10},
+		{System: "B", Procs: 16, Beff: 100e6, RmaxGF: 10},
+	}
+	out := BalanceChart(rows)
+	if !strings.Contains(out, "A (16 procs)") || !strings.Contains(out, "#") {
+		t.Errorf("chart malformed:\n%s", out)
+	}
+	// A's bar must be longer than B's.
+	var aLen, bLen int
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "A (") {
+			aLen = strings.Count(line, "#")
+		}
+		if strings.Contains(line, "B (") {
+			bLen = strings.Count(line, "#")
+		}
+	}
+	if aLen <= bLen {
+		t.Errorf("A bar (%d) should exceed B bar (%d)", aLen, bLen)
+	}
+}
+
+func TestBalanceFactorUnits(t *testing.T) {
+	// 19919 MB/s on ~240 GF → ~0.083 bytes/flop (the T3E ballpark).
+	r := BalanceRow{Beff: 19919e6, RmaxGF: 240}
+	bf := r.BalanceFactor()
+	if bf < 0.08 || bf > 0.09 {
+		t.Errorf("balance factor = %v", bf)
+	}
+	if (BalanceRow{Beff: 1, RmaxGF: 0}).BalanceFactor() != 0 {
+		t.Error("zero Rmax should give zero factor")
+	}
+}
+
+func TestBeffProtocolComplete(t *testing.T) {
+	res := sampleBeff(t)
+	out := BeffProtocol(res)
+	for _, want := range []string{"ring patterns", "random patterns", "analysis patterns", "Sendrecv", "Alltoallv", "nonblocking", "worst-case cycle", "best bisection"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("protocol missing %q", want)
+		}
+	}
+	// All 21 sizes for each of 12 patterns.
+	if got := strings.Count(out, "\n    1\t"); got != 0 {
+		t.Logf("raw size lines: %d", got)
+	}
+}
+
+func TestBeffIOProtocolComplete(t *testing.T) {
+	res := sampleBeffIO(t)
+	out := BeffIOProtocol(res)
+	for _, want := range []string{"initial write", "rewrite", "read", "fill-up", "b_eff_io"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("protocol missing %q", want)
+		}
+	}
+}
+
+func TestSweepChart(t *testing.T) {
+	out := SweepChart("Fig 3", []Series{
+		{Name: "T3E", Points: map[int]float64{8: 100e6, 32: 150e6, 128: 150e6}},
+		{Name: "SP", Points: map[int]float64{8: 50e6, 128: 400e6}},
+	})
+	if !strings.Contains(out, "T3E") || !strings.Contains(out, "128 procs") {
+		t.Errorf("sweep chart malformed:\n%s", out)
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	var sb strings.Builder
+	if err := CSV(&sb, []string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "a,b\n1,2\n3,4\n" {
+		t.Errorf("csv = %q", sb.String())
+	}
+}
+
+func TestBeffCSVShape(t *testing.T) {
+	res := sampleBeff(t)
+	var sb strings.Builder
+	if err := BeffCSV(&sb, "sys", res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// header + 12 patterns x 21 sizes x 3 methods
+	want := 1 + 12*21*3
+	if len(lines) != want {
+		t.Errorf("csv rows = %d, want %d", len(lines), want)
+	}
+}
+
+func TestBeffIOCSVShape(t *testing.T) {
+	res := sampleBeffIO(t)
+	var sb strings.Builder
+	if err := BeffIOCSV(&sb, "sys", res); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	// header + 3 methods x 43 patterns
+	want := 1 + 3*43
+	if len(lines) != want {
+		t.Errorf("csv rows = %d, want %d", len(lines), want)
+	}
+}
+
+func TestSKaMPIBeffOutput(t *testing.T) {
+	res := sampleBeff(t)
+	var sb strings.Builder
+	if err := SKaMPIBeff(&sb, "m1", res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "#SKAMPI-like output, benchmark b_eff") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "beff-summary machine=\"m1\"") {
+		t.Error("missing summary record")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header + 12 patterns x 21 sizes x 3 methods + summary
+	if want := 2 + 12*21*3; len(lines) != want {
+		t.Errorf("lines = %d, want %d", len(lines), want)
+	}
+}
+
+func TestSKaMPIBeffIOOutput(t *testing.T) {
+	res := sampleBeffIO(t)
+	var sb strings.Builder
+	if err := SKaMPIBeffIO(&sb, "m2", res); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "benchmark b_eff_io") || !strings.Contains(out, "beffio-summary") {
+		t.Error("malformed SKaMPI I/O output")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if want := 2 + 3*43; len(lines) != want {
+		t.Errorf("lines = %d, want %d", len(lines), want)
+	}
+}
+
+func TestFig4Chart(t *testing.T) {
+	res := sampleBeffIO(t)
+	out := Fig4Chart(res)
+	for _, want := range []string{"initial write", "rewrite", "read", "1kB", "32kB+8", "type0", "type4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fig4 chart missing %q", want)
+		}
+	}
+}
+
+func TestChunkLabel(t *testing.T) {
+	cases := []struct {
+		chunk int64
+		wf    bool
+		want  string
+	}{
+		{1 << 20, true, "1MB"},
+		{1<<20 + 8, false, "1MB+8"},
+		{32 << 10, true, "32kB"},
+		{32<<10 + 8, false, "32kB+8"},
+		{512, true, "512B"},
+	}
+	for _, c := range cases {
+		if got := chunkLabel(c.chunk, c.wf); got != c.want {
+			t.Errorf("chunkLabel(%d,%v) = %q, want %q", c.chunk, c.wf, got, c.want)
+		}
+	}
+}
+
+func TestLogBarScaling(t *testing.T) {
+	short := strings.Count(logBar(1e6), "#")  // 1 MB/s
+	long := strings.Count(logBar(100e6), "#") // 100 MB/s
+	if long <= short {
+		t.Errorf("log bar not monotone: %d vs %d", short, long)
+	}
+	if strings.Count(logBar(1e12), "#") > 14 {
+		t.Error("bar should cap")
+	}
+	if !strings.HasPrefix(logBar(0.01e6), ".") {
+		t.Error("tiny bandwidth should render as dot")
+	}
+}

@@ -1,0 +1,85 @@
+package report
+
+// SKaMPI-style output — the paper's §6: "Both benchmarks will also be
+// enhanced to write an additional output that can be used in the SKaMPI
+// comparison page." SKaMPI publishes flat, machine-readable measurement
+// records (one datum per line with full context), which is what this
+// emitter produces.
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/core"
+)
+
+// SKaMPIBeff writes a b_eff protocol as SKaMPI-style records:
+//
+//	#SKAMPI-like output, benchmark b_eff
+//	beff machine=<m> procs=<n> pattern=<p> family=<ring|random> L=<bytes> method=<m> value=<MB/s>
+//	beff-summary machine=<m> procs=<n> beff=<MB/s> at-lmax=<MB/s> ring-at-lmax=<MB/s> pingpong=<MB/s>
+func SKaMPIBeff(w io.Writer, machineName string, res *core.Result) error {
+	if _, err := fmt.Fprintf(w, "#SKAMPI-like output, benchmark b_eff, machine %q, %d processes\n",
+		machineName, res.Procs); err != nil {
+		return err
+	}
+	emit := func(family string, prs []core.PatternResult) error {
+		for pi, pr := range prs {
+			for si, L := range res.Sizes {
+				for m := 0; m < core.NumMethods; m++ {
+					_, err := fmt.Fprintf(w,
+						"beff machine=%q procs=%d family=%s pattern=%d L=%d method=%q value=%.3f\n",
+						machineName, res.Procs, family, pi, L,
+						core.Method(m).String(), pr.ByMethod[m][si]/1e6)
+					if err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	if err := emit("ring", res.Ring); err != nil {
+		return err
+	}
+	if err := emit("random", res.Random); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w,
+		"beff-summary machine=%q procs=%d beff=%.3f at-lmax=%.3f ring-at-lmax=%.3f pingpong=%.3f\n",
+		machineName, res.Procs, res.Beff/1e6, res.BeffAtLmax/1e6, res.RingAtLmax/1e6, res.PingPong/1e6)
+	return err
+}
+
+// SKaMPIBeffIO writes a b_eff_io protocol as SKaMPI-style records.
+func SKaMPIBeffIO(w io.Writer, machineName string, res *beffio.Result) error {
+	if _, err := fmt.Fprintf(w, "#SKAMPI-like output, benchmark b_eff_io, machine %q, %d processes, T=%v\n",
+		machineName, res.Procs, res.T); err != nil {
+		return err
+	}
+	for _, mr := range res.Methods {
+		for _, tr := range mr.Types {
+			if tr.Skipped {
+				continue
+			}
+			for _, pm := range tr.Patterns {
+				_, err := fmt.Fprintf(w,
+					"beffio machine=%q procs=%d method=%q type=%d pattern=%d l=%d U=%d reps=%d value=%.3f\n",
+					machineName, res.Procs, mr.Method.String(), int(tr.Type),
+					pm.Pattern.Num, pm.Pattern.DiskChunk, pm.Pattern.U, pm.Reps, pm.BW/1e6)
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := fmt.Fprintf(w,
+		"beffio-summary machine=%q procs=%d write=%.3f rewrite=%.3f read=%.3f beffio=%.3f\n",
+		machineName, res.Procs,
+		res.Methods[beffio.InitialWrite].BW/1e6,
+		res.Methods[beffio.Rewrite].BW/1e6,
+		res.Methods[beffio.Read].BW/1e6,
+		res.BeffIO/1e6)
+	return err
+}

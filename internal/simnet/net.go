@@ -1,0 +1,217 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpcbench/beff/internal/des"
+)
+
+// Fabric is a routed interconnect topology over physical processors
+// 0..NumProcs-1. Path returns the shared resources a message traverses
+// between two processors (excluding the per-processor NICs, which Net
+// owns) and the propagation latency of the route.
+type Fabric interface {
+	NumProcs() int
+	Path(src, dst int) ([]Segment, des.Duration)
+}
+
+// Config describes the per-processor communication parameters of a
+// machine; the Fabric describes everything shared.
+type Config struct {
+	Fabric Fabric
+
+	// TxBandwidth and RxBandwidth are the per-processor injection and
+	// ejection bandwidths in bytes/second (the NIC directions). A zero
+	// value means not a bottleneck.
+	TxBandwidth float64
+	RxBandwidth float64
+
+	// PortBandwidth, when positive, adds a per-processor half-duplex
+	// memory port crossed by both outgoing and incoming traffic. It is
+	// what makes simultaneous bidirectional traffic (everyone
+	// communicating in parallel, the b_eff scenario) slower per process
+	// than a one-directional ping-pong stream: a ping-pong only moves
+	// one message through the port at a time, while a ring loop pushes
+	// send and receive traffic through it together.
+	PortBandwidth float64
+
+	// SendOverhead and RecvOverhead are per-message software costs (the
+	// "o" of the LogGP model): time the CPU is busy before the first
+	// byte is injected / after the last byte arrives. They dominate
+	// small-message bandwidth.
+	SendOverhead des.Duration
+	RecvOverhead des.Duration
+
+	// MemCopyBandwidth is the single-processor memory copy bandwidth in
+	// bytes/second, used for buffer packing/unpacking costs charged by
+	// the layers above. Zero means copies are free.
+	MemCopyBandwidth float64
+
+	// OnTransfer, when non-nil, observes every transfer: source and
+	// destination processors, payload size, injection start and
+	// arrival. internal/trace provides a collector for it.
+	OnTransfer func(src, dst int, size int64, start, end des.Time)
+}
+
+// Net is a machine's communication subsystem: NICs plus a routed
+// fabric. All methods must be called from within a des.Engine run (they
+// are not safe for concurrent use, by design: the engine serialises).
+type Net struct {
+	cfg  Config
+	tx   []*Resource
+	rx   []*Resource
+	port []*Resource // nil unless PortBandwidth > 0
+
+	bytesMoved int64
+	messages   int64
+}
+
+// New builds the per-processor resources around the fabric.
+func New(cfg Config) *Net {
+	if cfg.Fabric == nil {
+		panic("simnet: Config.Fabric is required")
+	}
+	n := cfg.Fabric.NumProcs()
+	net := &Net{cfg: cfg, tx: make([]*Resource, n), rx: make([]*Resource, n)}
+	for i := 0; i < n; i++ {
+		net.tx[i] = NewResource(fmt.Sprintf("tx%d", i), cfg.TxBandwidth)
+		net.rx[i] = NewResource(fmt.Sprintf("rx%d", i), cfg.RxBandwidth)
+	}
+	if cfg.PortBandwidth > 0 {
+		net.port = make([]*Resource, n)
+		for i := 0; i < n; i++ {
+			net.port[i] = NewResource(fmt.Sprintf("port%d", i), cfg.PortBandwidth)
+		}
+	}
+	return net
+}
+
+// NumProcs reports the number of physical processors.
+func (n *Net) NumProcs() int { return n.cfg.Fabric.NumProcs() }
+
+// Transfer books a message of size bytes from processor src to dst,
+// starting no earlier than earliest. It returns when the sender's CPU
+// is free again (overhead + injection) and when the message is available
+// at the receiver (including the receive overhead). A zero-size message
+// still pays overheads and latency.
+func (n *Net) Transfer(src, dst int, size int64, earliest des.Time) (senderFree, arrival des.Time) {
+	if size < 0 {
+		panic(fmt.Sprintf("simnet: negative transfer size %d", size))
+	}
+	if src == dst {
+		// Self-send: a memory copy, no network involvement.
+		end := earliest.Add(n.cfg.SendOverhead).Add(n.CopyTime(size)).Add(n.cfg.RecvOverhead)
+		n.bytesMoved += size
+		n.messages++
+		if n.cfg.OnTransfer != nil {
+			n.cfg.OnTransfer(src, dst, size, earliest, end)
+		}
+		return end, end
+	}
+	path, lat := n.cfg.Fabric.Path(src, dst)
+	segs := make([]Segment, 0, len(path)+4)
+	segs = append(segs, Seg(n.tx[src]))
+	if n.port != nil {
+		segs = append(segs, Seg(n.port[src]))
+	}
+	segs = append(segs, path...)
+	if n.port != nil {
+		segs = append(segs, Seg(n.port[dst]))
+	}
+	segs = append(segs, Seg(n.rx[dst]))
+
+	injectAt := earliest.Add(n.cfg.SendOverhead)
+	start, end := reserve(segs, size, injectAt)
+	senderFree = end // sender's NIC engagement models back-pressure
+	arrival = end.Add(lat).Add(n.cfg.RecvOverhead)
+	n.bytesMoved += size
+	n.messages++
+	if n.cfg.OnTransfer != nil {
+		n.cfg.OnTransfer(src, dst, size, start, arrival)
+	}
+	return senderFree, arrival
+}
+
+// CopyTime reports the cost of a local memory copy of size bytes.
+func (n *Net) CopyTime(size int64) des.Duration {
+	if n.cfg.MemCopyBandwidth <= 0 || size <= 0 {
+		return 0
+	}
+	return des.DurationOf(float64(size) / n.cfg.MemCopyBandwidth)
+}
+
+// Latency reports the zero-byte one-way latency between two processors,
+// overheads included. Useful for calibration tests.
+func (n *Net) Latency(src, dst int) des.Duration {
+	if src == dst {
+		return n.cfg.SendOverhead + n.cfg.RecvOverhead
+	}
+	_, lat := n.cfg.Fabric.Path(src, dst)
+	return n.cfg.SendOverhead + lat + n.cfg.RecvOverhead
+}
+
+// BytesMoved reports the total payload bytes transferred.
+func (n *Net) BytesMoved() int64 { return n.bytesMoved }
+
+// Messages reports the number of transfers.
+func (n *Net) Messages() int64 { return n.messages }
+
+// Config returns the configuration the Net was built with.
+func (n *Net) Config() Config { return n.cfg }
+
+// SetOnTransfer installs (or replaces) the transfer observer after
+// construction — convenient when the Net came from a machine profile.
+func (n *Net) SetOnTransfer(f func(src, dst int, size int64, start, end des.Time)) {
+	n.cfg.OnTransfer = f
+}
+
+// ResourceLister is implemented by fabrics that can enumerate their
+// shared resources for utilisation diagnostics.
+type ResourceLister interface {
+	Resources() []*Resource
+}
+
+// ResourceStat is one row of a utilisation report.
+type ResourceStat struct {
+	Name         string
+	Busy         des.Duration
+	Utilization  float64
+	Reservations int64
+}
+
+// HotResources returns the busiest resources (NICs, ports, and — if the
+// fabric implements ResourceLister — its links) sorted by busy time,
+// with utilisation computed against the given horizon. topN <= 0 means
+// all.
+func (n *Net) HotResources(horizon des.Time, topN int) []ResourceStat {
+	var rs []*Resource
+	rs = append(rs, n.tx...)
+	rs = append(rs, n.rx...)
+	rs = append(rs, n.port...)
+	if fl, ok := n.cfg.Fabric.(ResourceLister); ok {
+		rs = append(rs, fl.Resources()...)
+	}
+	stats := make([]ResourceStat, 0, len(rs))
+	for _, r := range rs {
+		if r == nil || r.Reservations() == 0 {
+			continue
+		}
+		stats = append(stats, ResourceStat{
+			Name:         r.Name(),
+			Busy:         r.BusyTime(),
+			Utilization:  r.Utilization(horizon),
+			Reservations: r.Reservations(),
+		})
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		if stats[i].Busy != stats[j].Busy {
+			return stats[i].Busy > stats[j].Busy
+		}
+		return stats[i].Name < stats[j].Name
+	})
+	if topN > 0 && len(stats) > topN {
+		stats = stats[:topN]
+	}
+	return stats
+}

@@ -1,0 +1,97 @@
+// Package stats provides the averaging machinery the b_eff and
+// b_eff_io definitions prescribe: logarithmic averages, weighted
+// averages, and small helpers for formatting bandwidths.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// LogAvg returns the logarithmic (geometric) average of the values:
+// exp(mean(log(x))). It is the combination rule b_eff uses to merge
+// ring and random pattern families. Non-positive values would make the
+// logarithm blow up, so they are clamped to a tiny epsilon — a pattern
+// that measured zero bandwidth still drags the average down hard
+// without destroying it.
+func LogAvg(xs ...float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	const eps = 1e-12
+	sum := 0.0
+	for _, x := range xs {
+		if x < eps {
+			x = eps
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(xs ...float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// WeightedMean returns sum(w_i x_i)/sum(w_i); 0 when the weights sum to
+// zero.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic(fmt.Sprintf("stats: %d values vs %d weights", len(xs), len(ws)))
+	}
+	var sx, sw float64
+	for i := range xs {
+		sx += xs[i] * ws[i]
+		sw += ws[i]
+	}
+	if sw == 0 {
+		return 0
+	}
+	return sx / sw
+}
+
+// Max returns the maximum, 0 for empty input.
+func Max(xs ...float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum, 0 for empty input.
+func Min(xs ...float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MBps formats a bytes-per-second bandwidth as MByte/s, the unit every
+// table in the paper uses (decimal megabytes, as the original b_eff
+// reports).
+func MBps(bytesPerSec float64) string {
+	return fmt.Sprintf("%.0f MB/s", bytesPerSec/1e6)
+}
+
+// ToMB converts bytes/second to MByte/s as a number.
+func ToMB(bytesPerSec float64) float64 { return bytesPerSec / 1e6 }

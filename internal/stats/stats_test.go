@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestLogAvgBasics(t *testing.T) {
+	if got := LogAvg(4, 16); !approx(got, 8, 1e-9) {
+		t.Errorf("LogAvg(4,16) = %v, want 8", got)
+	}
+	if got := LogAvg(5); !approx(got, 5, 1e-9) {
+		t.Errorf("LogAvg(5) = %v", got)
+	}
+	if got := LogAvg(); got != 0 {
+		t.Errorf("LogAvg() = %v, want 0", got)
+	}
+}
+
+func TestLogAvgClampsNonPositive(t *testing.T) {
+	got := LogAvg(0, 100)
+	if math.IsInf(got, 0) || math.IsNaN(got) || got <= 0 {
+		t.Errorf("LogAvg with zero should stay finite positive, got %v", got)
+	}
+	if got > 1 {
+		t.Errorf("a zero measurement should crush the average, got %v", got)
+	}
+}
+
+func TestLogAvgBetweenMinAndMax(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+		}
+		la := LogAvg(xs...)
+		return la >= Min(xs...)-1e-9 && la <= Max(xs...)+1e-9 && la <= Mean(xs...)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(1, 2, 3, 4); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(); got != 0 {
+		t.Errorf("empty Mean = %v", got)
+	}
+}
+
+func TestWeightedMean(t *testing.T) {
+	// The b_eff_io access-method weights: 25% write, 25% rewrite, 50% read.
+	got := WeightedMean([]float64{100, 200, 400}, []float64{0.25, 0.25, 0.5})
+	if !approx(got, 275, 1e-9) {
+		t.Errorf("WeightedMean = %v, want 275", got)
+	}
+}
+
+func TestWeightedMeanZeroWeights(t *testing.T) {
+	if got := WeightedMean([]float64{1, 2}, []float64{0, 0}); got != 0 {
+		t.Errorf("zero weights should give 0, got %v", got)
+	}
+}
+
+func TestWeightedMeanPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on length mismatch")
+		}
+	}()
+	WeightedMean([]float64{1}, []float64{1, 2})
+}
+
+func TestMinMax(t *testing.T) {
+	if Max(3, 9, 1) != 9 || Min(3, 9, 1) != 1 {
+		t.Error("min/max wrong")
+	}
+	if Max() != 0 || Min() != 0 {
+		t.Error("empty min/max should be 0")
+	}
+}
+
+func TestMBpsFormat(t *testing.T) {
+	if got := MBps(19919e6); got != "19919 MB/s" {
+		t.Errorf("MBps = %q", got)
+	}
+}
+
+func TestToMB(t *testing.T) {
+	if ToMB(330e6) != 330 {
+		t.Error("ToMB wrong")
+	}
+}

@@ -1,0 +1,168 @@
+// Package trace collects message and I/O events from a simulation run
+// and renders them as summaries or as Chrome trace-event JSON
+// (chrome://tracing, Perfetto). The network and filesystem models
+// expose plain function hooks so this package stays optional and
+// dependency-free; see simnet.Config.OnTransfer and
+// simfs.Config.OnServerOp.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/hpcbench/beff/internal/des"
+)
+
+// MessageEvent is one network transfer.
+type MessageEvent struct {
+	Src, Dst   int
+	Size       int64
+	Start, End des.Time
+}
+
+// IOEvent is one disk operation on an I/O server.
+type IOEvent struct {
+	Server     int
+	Write      bool
+	Bytes      int64
+	Start, End des.Time
+}
+
+// Collector accumulates events. It is safe for use from a single
+// des.Engine run (which serialises); wrap externally if several engines
+// share one collector.
+type Collector struct {
+	Messages []MessageEvent
+	IOs      []IOEvent
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// OnTransfer is the hook for simnet.Config.OnTransfer.
+func (c *Collector) OnTransfer(src, dst int, size int64, start, end des.Time) {
+	c.Messages = append(c.Messages, MessageEvent{Src: src, Dst: dst, Size: size, Start: start, End: end})
+}
+
+// OnServerOp is the hook for simfs.Config.OnServerOp.
+func (c *Collector) OnServerOp(server int, write bool, bytes int64, start, end des.Time) {
+	c.IOs = append(c.IOs, IOEvent{Server: server, Write: write, Bytes: bytes, Start: start, End: end})
+}
+
+// Summary aggregates the collected events.
+type Summary struct {
+	Messages      int
+	MessageBytes  int64
+	BusiestPair   [2]int
+	BusiestBytes  int64
+	IOOps         int
+	IOBytes       int64
+	BusiestServer int
+	ServerBytes   int64
+	Horizon       des.Time
+}
+
+// Summarize computes totals and hot spots.
+func (c *Collector) Summarize() Summary {
+	var s Summary
+	pair := map[[2]int]int64{}
+	for _, m := range c.Messages {
+		s.Messages++
+		s.MessageBytes += m.Size
+		k := [2]int{m.Src, m.Dst}
+		pair[k] += m.Size
+		if m.End > s.Horizon {
+			s.Horizon = m.End
+		}
+	}
+	for k, b := range pair {
+		if b > s.BusiestBytes || (b == s.BusiestBytes && less(k, s.BusiestPair)) {
+			s.BusiestBytes = b
+			s.BusiestPair = k
+		}
+	}
+	server := map[int]int64{}
+	for _, e := range c.IOs {
+		s.IOOps++
+		s.IOBytes += e.Bytes
+		server[e.Server] += e.Bytes
+		if e.End > s.Horizon {
+			s.Horizon = e.End
+		}
+	}
+	s.BusiestServer = -1
+	for k, b := range server {
+		if b > s.ServerBytes || (b == s.ServerBytes && k < s.BusiestServer) {
+			s.ServerBytes = b
+			s.BusiestServer = k
+		}
+	}
+	return s
+}
+
+func less(a, b [2]int) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+// WriteChromeTrace emits the events in the Chrome trace-event format:
+// one complete ("X") event per message and per server operation.
+// Timestamps are microseconds of virtual time; processors appear as
+// pid 0 rows, I/O servers as pid 1.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	if _, err := io.WriteString(w, "[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(name string, pid, tid int, start, end des.Time, args string) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		dur := end.Sub(start)
+		if dur < 1 {
+			dur = 1
+		}
+		_, err := fmt.Fprintf(w,
+			`  {"name":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{%s}}`,
+			name, float64(start)/1e3, float64(dur)/1e3, pid, tid, args)
+		return err
+	}
+	// Stable ordering for reproducible output.
+	msgs := append([]MessageEvent(nil), c.Messages...)
+	sort.SliceStable(msgs, func(i, j int) bool { return msgs[i].Start < msgs[j].Start })
+	for _, m := range msgs {
+		name := fmt.Sprintf("msg %d->%d", m.Src, m.Dst)
+		args := fmt.Sprintf(`"bytes":%d,"dst":%d`, m.Size, m.Dst)
+		if err := emit(name, 0, m.Src, m.Start, m.End, args); err != nil {
+			return err
+		}
+	}
+	ios := append([]IOEvent(nil), c.IOs...)
+	sort.SliceStable(ios, func(i, j int) bool { return ios[i].Start < ios[j].Start })
+	for _, e := range ios {
+		op := "read"
+		if e.Write {
+			op = "write"
+		}
+		name := fmt.Sprintf("disk %s", op)
+		args := fmt.Sprintf(`"bytes":%d`, e.Bytes)
+		if err := emit(name, 1, e.Server, e.Start, e.End, args); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]\n")
+	return err
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"trace: %d messages (%d bytes), busiest pair %d->%d (%d bytes); %d disk ops (%d bytes), busiest server %d (%d bytes); horizon %v",
+		s.Messages, s.MessageBytes, s.BusiestPair[0], s.BusiestPair[1], s.BusiestBytes,
+		s.IOOps, s.IOBytes, s.BusiestServer, s.ServerBytes, s.Horizon)
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/mpi"
+	"github.com/hpcbench/beff/internal/simfs"
+	"github.com/hpcbench/beff/internal/simnet"
+)
+
+func collectRun(t *testing.T) *Collector {
+	t.Helper()
+	col := New()
+	net := simnet.New(simnet.Config{
+		Fabric:       simnet.NewCrossbar(4, 0, des.Microsecond),
+		TxBandwidth:  100e6,
+		RxBandwidth:  100e6,
+		SendOverhead: 2 * des.Microsecond,
+		RecvOverhead: 2 * des.Microsecond,
+		OnTransfer:   col.OnTransfer,
+	})
+	fs := simfs.MustNew(simfs.Config{
+		Name: "fs", Servers: 2, StripeUnit: 64 << 10, BlockSize: 4 << 10,
+		WriteBandwidth: 100e6, ReadBandwidth: 100e6,
+		RequestOverhead: 10 * des.Microsecond,
+		Clients:         4, MemoryBandwidth: 1e9,
+		OnServerOp: col.OnServerOp,
+	})
+	err := mpi.Run(mpi.WorldConfig{Net: net}, func(c *mpi.Comm) {
+		n := c.Size()
+		r, l := (c.Rank()+1)%n, (c.Rank()-1+n)%n
+		c.SendrecvBytes(r, 0, 100_000, l, 0)
+		f := fs.Open(c.Proc(), "t")
+		f.WriteAt(c.Proc(), c.Rank(), int64(c.Rank())*200_000, 200_000, nil)
+		f.Sync(c.Proc())
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func TestCollectorGathersEvents(t *testing.T) {
+	col := collectRun(t)
+	if len(col.Messages) == 0 {
+		t.Fatal("no message events")
+	}
+	if len(col.IOs) == 0 {
+		t.Fatal("no io events")
+	}
+	for _, m := range col.Messages {
+		if m.End < m.Start {
+			t.Errorf("message ends before it starts: %+v", m)
+		}
+	}
+	for _, e := range col.IOs {
+		if e.End < e.Start || e.Bytes <= 0 {
+			t.Errorf("bad io event: %+v", e)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	col := collectRun(t)
+	s := col.Summarize()
+	if s.Messages != len(col.Messages) || s.IOOps != len(col.IOs) {
+		t.Errorf("summary counts wrong: %+v", s)
+	}
+	if s.MessageBytes <= 0 || s.IOBytes != 4*200_000 {
+		t.Errorf("bytes wrong: %+v", s)
+	}
+	if s.Horizon <= 0 {
+		t.Error("no horizon")
+	}
+	if !strings.Contains(s.String(), "messages") {
+		t.Error("summary String malformed")
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	col := collectRun(t)
+	var sb strings.Builder
+	if err := col.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String()[:200])
+	}
+	if len(events) != len(col.Messages)+len(col.IOs) {
+		t.Errorf("%d events, want %d", len(events), len(col.Messages)+len(col.IOs))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" || e["dur"].(float64) <= 0 {
+			t.Errorf("bad event %v", e)
+		}
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	a, b := collectRun(t), collectRun(t)
+	var sa, sb strings.Builder
+	if err := a.WriteChromeTrace(&sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sa.String() != sb.String() {
+		t.Error("trace output not reproducible")
+	}
+}
+
+func TestSummaryBusiestPair(t *testing.T) {
+	col := New()
+	col.OnTransfer(0, 1, 100, 0, 10)
+	col.OnTransfer(0, 1, 100, 10, 20)
+	col.OnTransfer(2, 3, 150, 0, 10)
+	s := col.Summarize()
+	if s.BusiestPair != [2]int{0, 1} || s.BusiestBytes != 200 {
+		t.Errorf("busiest pair = %v (%d)", s.BusiestPair, s.BusiestBytes)
+	}
+}
+
+func TestEmptyCollector(t *testing.T) {
+	col := New()
+	s := col.Summarize()
+	if s.Messages != 0 || s.IOOps != 0 {
+		t.Error("phantom events")
+	}
+	var sb strings.Builder
+	if err := col.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil || len(events) != 0 {
+		t.Errorf("empty trace should be valid empty JSON array: %v", err)
+	}
+}
