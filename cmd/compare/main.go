@@ -4,10 +4,14 @@
 // answers the procurement question the paper opens with: which machine
 // is actually better balanced, not which has the shinier peak number.
 //
+// Each machine is an independent simulation cell: they run over -j
+// workers and memoise under -cache. If any cell fails the command
+// exits non-zero instead of printing a partial table.
+//
 // Usage:
 //
 //	compare -machines t3e,sr8000-seq,sr8000-rr -procs 24
-//	compare -machines sx5,sx4 -procs 4
+//	compare -machines sx5,sx4 -procs 4 -j 2
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/runner"
 )
 
 func main() {
@@ -26,14 +31,17 @@ func main() {
 		machines = flag.String("machines", "t3e,sr8000-seq,sr8000-rr", "comma-separated machine profile keys")
 		procs    = flag.Int("procs", 16, "partition size used on every machine")
 		maxLoop  = flag.Int("maxloop", 4, "max looplength")
+		rf       runner.Flags
 	)
+	rf.Register(flag.CommandLine)
 	flag.Parse()
 
-	type row struct {
-		p   *machine.Profile
-		res *core.Result
-	}
-	var rows []row
+	opt := core.Options{MaxLooplength: *maxLoop, Reps: 1, SkipAnalysis: true}
+
+	var (
+		profiles []*machine.Profile
+		cells    []runner.Cell[*core.Result]
+	)
 	for _, key := range strings.Split(*machines, ",") {
 		key = strings.TrimSpace(key)
 		p, err := machine.Lookup(key)
@@ -43,17 +51,22 @@ func main() {
 			n = p.MaxProcs
 			fmt.Fprintf(os.Stderr, "compare: %s capped at %d processes\n", key, n)
 		}
-		w, err := p.BuildWorld(n)
-		fatal(err)
-		res, err := core.Run(w, core.Options{
-			MemoryPerProc: p.MemoryPerProc,
-			MaxLooplength: *maxLoop,
-			Reps:          1,
-			SkipAnalysis:  true,
-		})
-		fatal(err)
-		rows = append(rows, row{p, res})
-		fmt.Fprintf(os.Stderr, "compare: measured %s\n", key)
+		profiles = append(profiles, p)
+		cells = append(cells, runner.BeffCell(key, n, opt))
+	}
+	results := runner.Sweep(cells, rf.Options("compare"))
+	if err := runner.Err(results); err != nil {
+		fmt.Fprintln(os.Stderr, "compare:", err)
+		os.Exit(1)
+	}
+
+	type row struct {
+		p   *machine.Profile
+		res *core.Result
+	}
+	var rows []row
+	for i, r := range results {
+		rows = append(rows, row{profiles[i], r.Value})
 	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)

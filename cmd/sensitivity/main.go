@@ -4,10 +4,15 @@
 // with one knob scaled at a time and reports the elasticity of b_eff
 // (percent change per percent of knob change).
 //
+// The baseline and the per-knob measurements are independent
+// simulation cells; they fan out over -j workers and memoise under
+// -cache, so re-running after editing one knob only recomputes the
+// cells that changed.
+//
 // Usage:
 //
 //	sensitivity -config mymachine.json -procs 16
-//	sensitivity -config mymachine.json -procs 16 -scale 1.5
+//	sensitivity -config mymachine.json -procs 16 -scale 1.5 -j 4
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/runner"
 )
 
 func main() {
@@ -27,7 +33,9 @@ func main() {
 		procs      = flag.Int("procs", 16, "partition size")
 		scale      = flag.Float64("scale", 1.25, "factor applied to each knob in turn")
 		maxLoop    = flag.Int("maxloop", 2, "max looplength")
+		rf         runner.Flags
 	)
+	rf.Register(flag.CommandLine)
 	flag.Parse()
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "sensitivity: -config is required (see internal/machine/config.go for the schema)")
@@ -38,27 +46,7 @@ func main() {
 	var base machine.ConfigFile
 	fatal(json.Unmarshal(raw, &base))
 
-	measure := func(cf machine.ConfigFile) float64 {
-		p, err := cf.Build()
-		fatal(err)
-		n := *procs
-		if n > p.MaxProcs {
-			n = p.MaxProcs
-		}
-		w, err := p.BuildWorld(n)
-		fatal(err)
-		res, err := core.Run(w, core.Options{
-			MemoryPerProc: p.MemoryPerProc,
-			MaxLooplength: *maxLoop,
-			Reps:          1,
-			SkipAnalysis:  true,
-		})
-		fatal(err)
-		return res.Beff
-	}
-
-	baseline := measure(base)
-	fmt.Printf("baseline b_eff = %.1f MB/s (%s, %d procs)\n\n", baseline/1e6, base.Name, *procs)
+	opt := core.Options{MaxLooplength: *maxLoop, Reps: 1, SkipAnalysis: true}
 
 	knobs := []struct {
 		name  string
@@ -81,16 +69,31 @@ func main() {
 		}},
 	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintf(tw, "knob (x%.2f)\tb_eff MB/s\tchange\telasticity\t\n", *scale)
+	// One cell per measurement: the baseline first, then each knob.
+	cells := []runner.Cell[*core.Result]{
+		runner.BeffConfigCell("baseline", base, *procs, opt),
+	}
 	for _, k := range knobs {
 		cf := base // value copy; nested slices absent in the schema
 		k.apply(&cf, *scale)
-		v := measure(cf)
+		cells = append(cells, runner.BeffConfigCell(k.name, cf, *procs, opt))
+	}
+	results := runner.Sweep(cells, rf.Options("sensitivity"))
+	if err := runner.Err(results); err != nil {
+		fmt.Fprintln(os.Stderr, "sensitivity:", err)
+		os.Exit(1)
+	}
+
+	baseline := results[0].Value.Beff
+	fmt.Printf("baseline b_eff = %.1f MB/s (%s, %d procs)\n\n", baseline/1e6, base.Name, *procs)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(tw, "knob (x%.2f)\tb_eff MB/s\tchange\telasticity\t\n", *scale)
+	for i, k := range knobs {
+		v := results[i+1].Value.Beff
 		change := v/baseline - 1
 		elasticity := change / (*scale - 1)
 		fmt.Fprintf(tw, "%s\t%.1f\t%+.1f%%\t%.2f\t\n", k.name, v/1e6, change*100, elasticity)
-		fmt.Fprintf(os.Stderr, "sensitivity: measured %s\n", k.name)
 	}
 	tw.Flush()
 	fmt.Println("\nelasticity ~1: the knob is the bottleneck; ~0: something else binds.")

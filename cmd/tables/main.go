@@ -10,6 +10,12 @@
 //
 // By default reduced processor counts keep simulated event counts
 // small; -full uses the paper's partition sizes (slower).
+//
+// Every (machine, partition, parameters) combination is an independent
+// simulation cell: cells fan out over -j workers and their results
+// memoise under -cache, so a warm rerun renders everything without
+// re-simulating. Output is byte-identical at any -j. If any cell fails
+// the command exits non-zero.
 package main
 
 import (
@@ -17,14 +23,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"github.com/hpcbench/beff/internal/beffio"
 	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/des"
 	"github.com/hpcbench/beff/internal/machine"
-	"github.com/hpcbench/beff/internal/mpi"
 	"github.com/hpcbench/beff/internal/report"
-	"github.com/hpcbench/beff/internal/simfs"
+	"github.com/hpcbench/beff/internal/runner"
 )
 
 var (
@@ -32,6 +38,7 @@ var (
 	maxLoop = flag.Int("maxloop", 2, "b_eff max looplength")
 	ioT     = flag.Float64("T", 45, "b_eff_io scheduled time per partition, virtual seconds")
 	csvDir  = flag.String("csvdir", "", "also write machine-readable CSV artifacts into this directory")
+	rflags  runner.Flags
 )
 
 // writeCSV drops an experiment's data into the csvdir, if requested.
@@ -57,6 +64,7 @@ func main() {
 		fig5   = flag.Bool("fig5", false, "regenerate Fig. 5")
 		all    = flag.Bool("all", false, "regenerate everything")
 	)
+	rflags.Register(flag.CommandLine)
 	flag.Parse()
 	if *all {
 		*table1, *fig1, *fig3, *fig4, *fig5 = true, true, true, true, true
@@ -80,6 +88,40 @@ func main() {
 	if *fig5 {
 		runFig5()
 	}
+}
+
+func beffOpt() core.Options {
+	return core.Options{MaxLooplength: *maxLoop, Reps: 1, SkipAnalysis: true}
+}
+
+// beffSpec names one b_eff cell of a figure or table.
+type beffSpec struct {
+	key   string
+	procs int
+}
+
+// beffSweep measures every spec through the runner and returns the
+// results in spec order. Table 1 and Fig. 1 overlap in specs, so with
+// the cache on, the second one renders from the first one's cells.
+func beffSweep(label string, specs []beffSpec) []*core.Result {
+	cells := make([]runner.Cell[*core.Result], len(specs))
+	for i, s := range specs {
+		cells[i] = runner.BeffCell(s.key, s.procs, beffOpt())
+	}
+	results := runner.Sweep(cells, rflags.Options(label))
+	if err := runner.Err(results); err != nil {
+		fatal(err)
+	}
+	return runner.Values(results)
+}
+
+// ioSweep does the same for b_eff_io cells.
+func ioSweep(label string, cells []runner.Cell[*beffio.Result]) []*beffio.Result {
+	results := runner.Sweep(cells, rflags.Options(label))
+	if err := runner.Err(results); err != nil {
+		fatal(err)
+	}
+	return runner.Values(results)
 }
 
 // table1Sizes lists the (machine, procs) pairs of Table 1; the quick
@@ -118,27 +160,28 @@ func table1Sizes() []struct {
 	}
 }
 
-func beffFor(key string, procs int) (*machine.Profile, *core.Result) {
+func mustLookup(key string) *machine.Profile {
 	p, err := machine.Lookup(key)
 	fatal(err)
-	w, err := p.BuildWorld(procs)
-	fatal(err)
-	res, err := core.Run(w, core.Options{
-		MemoryPerProc: p.MemoryPerProc,
-		MaxLooplength: *maxLoop,
-		Reps:          1,
-		SkipAnalysis:  true,
-	})
-	fatal(err)
-	return p, res
+	return p
 }
 
 func runTable1() {
 	fmt.Println("=== Table 1: Effective Benchmark Results ===")
-	var rows []report.Table1Row
+	var specs []beffSpec
 	for _, m := range table1Sizes() {
 		for _, n := range m.procs {
-			p, res := beffFor(m.key, n)
+			specs = append(specs, beffSpec{m.key, n})
+		}
+	}
+	measured := beffSweep("table1", specs)
+	var rows []report.Table1Row
+	i := 0
+	for _, m := range table1Sizes() {
+		p := mustLookup(m.key)
+		for _, n := range m.procs {
+			res := measured[i]
+			i++
 			// Like the paper's table, quote the ping-pong only once
 			// per machine (it is measured within each partition; the
 			// largest is the representative one).
@@ -147,7 +190,6 @@ func runTable1() {
 				row.PingPong = 0
 			}
 			rows = append(rows, row)
-			fmt.Fprintf(os.Stderr, "  measured %s @%d\n", m.key, n)
 		}
 	}
 	fmt.Print(report.Table1(rows))
@@ -171,27 +213,38 @@ func runTable1() {
 
 func runFig1() {
 	fmt.Println("=== Figure 1: Balance factor ===")
-	var rows []report.BalanceRow
+	var specs []beffSpec
 	for _, m := range table1Sizes() {
+		specs = append(specs, beffSpec{m.key, m.procs[0]})
+	}
+	measured := beffSweep("fig1", specs)
+	var rows []report.BalanceRow
+	for i, m := range table1Sizes() {
+		p := mustLookup(m.key)
 		n := m.procs[0]
-		p, res := beffFor(m.key, n)
 		rows = append(rows, report.BalanceRow{
-			System: p.Name, Procs: n, Beff: res.Beff, RmaxGF: p.RmaxGF(n),
+			System: p.Name, Procs: n, Beff: measured[i].Beff, RmaxGF: p.RmaxGF(n),
 		})
 	}
 	fmt.Print(report.BalanceChart(rows))
 	fmt.Println()
 }
 
-func ioSetup(p *machine.Profile) beffio.PartitionSetup {
-	return func(n int) (mpi.WorldConfig, *simfs.FS, error) {
-		w, err := p.BuildIOWorld(n)
-		if err != nil {
-			return mpi.WorldConfig{}, nil, err
+// seriesCSV flattens chart series into CSV rows in deterministic order
+// (series order, then ascending partition size).
+func seriesCSV(series []report.Series) [][]string {
+	var csv [][]string
+	for _, s := range series {
+		procs := make([]int, 0, len(s.Points))
+		for n := range s.Points {
+			procs = append(procs, n)
 		}
-		fs, err := p.BuildFS()
-		return w, fs, err
+		sort.Ints(procs)
+		for _, n := range procs {
+			csv = append(csv, []string{s.Name, fmt.Sprint(n), fmt.Sprintf("%.2f", s.Points[n]/1e6)})
+		}
 	}
+	return csv
 }
 
 func runFig3() {
@@ -201,38 +254,41 @@ func runFig3() {
 		sizes = []int{8, 16, 32, 64, 128}
 	}
 	ts := []float64{*ioT / 2, *ioT, *ioT * 2}
-	var series []report.Series
+	type spec struct {
+		key string
+		t   float64
+	}
+	var specs []spec
+	var cells []runner.Cell[*beffio.Result]
 	for _, key := range []string{"t3e", "sp"} {
-		p, err := machine.Lookup(key)
-		fatal(err)
 		for _, t := range ts {
-			opt := beffio.Options{
-				T:     des.DurationOf(t),
-				MPart: p.MPart(),
-				// The paper's Fig. 3 data was "measured partially
-				// without pattern type 3".
-				SkipTypes:         []beffio.PatternType{beffio.Segmented},
-				MaxRepsPerPattern: 1 << 14,
+			specs = append(specs, spec{key, t})
+			for _, n := range sizes {
+				opt := beffio.Options{
+					T: des.DurationOf(t),
+					// The paper's Fig. 3 data was "measured partially
+					// without pattern type 3".
+					SkipTypes:         []beffio.PatternType{beffio.Segmented},
+					MaxRepsPerPattern: 1 << 14,
+				}
+				cell := runner.BeffIOCell(key, n, opt)
+				cell.Key = fmt.Sprintf("beffio:%s@%d,T=%.0fs", key, n, t)
+				cells = append(cells, cell)
 			}
-			results, err := beffio.Sweep(ioSetup(p), sizes, opt)
-			fatal(err)
-			s := report.Series{Name: fmt.Sprintf("%s T=%.0fs", p.Key, t), Points: map[int]float64{}}
-			for _, r := range results {
-				s.Points[r.Procs] = r.BeffIO
-			}
-			series = append(series, s)
-			fmt.Fprintf(os.Stderr, "  swept %s T=%.0fs\n", key, t)
 		}
+	}
+	measured := ioSweep("fig3", cells)
+	var series []report.Series
+	for si, sp := range specs {
+		s := report.Series{Name: fmt.Sprintf("%s T=%.0fs", sp.key, sp.t), Points: map[int]float64{}}
+		for ni, n := range sizes {
+			s.Points[n] = measured[si*len(sizes)+ni].BeffIO
+		}
+		series = append(series, s)
 	}
 	fmt.Print(report.SweepChart("b_eff_io (MB/s) over number of I/O processes", series))
 	fmt.Println()
-	var csv [][]string
-	for _, s := range series {
-		for procs, v := range s.Points {
-			csv = append(csv, []string{s.Name, fmt.Sprint(procs), fmt.Sprintf("%.2f", v/1e6)})
-		}
-	}
-	writeCSV("fig3.csv", []string{"series", "procs", "beffio_mbps"}, csv)
+	writeCSV("fig3.csv", []string{"series", "procs", "beffio_mbps"}, seriesCSV(series))
 }
 
 func runFig4() {
@@ -241,18 +297,19 @@ func runFig4() {
 	if *full {
 		procs = map[string]int{"sp": 64, "t3e": 32, "sr8000-seq": 16, "sx5": 4}
 	}
-	for _, key := range []string{"sp", "t3e", "sr8000-seq", "sx5"} {
-		p, err := machine.Lookup(key)
-		fatal(err)
-		w, fs, err := ioSetup(p)(procs[key])
-		fatal(err)
-		res, err := beffio.Run(w, fs, beffio.Options{
+	keys := []string{"sp", "t3e", "sr8000-seq", "sx5"}
+	var cells []runner.Cell[*beffio.Result]
+	for _, key := range keys {
+		cells = append(cells, runner.BeffIOCell(key, procs[key], beffio.Options{
 			T:                 des.DurationOf(*ioT),
-			MPart:             p.MPart(),
 			MaxRepsPerPattern: 1 << 14,
-		})
-		fatal(err)
-		fmt.Printf("\n--- %s (%s) ---\n", p.Name, fs.Config().Name)
+		}))
+	}
+	measured := ioSweep("fig4", cells)
+	for i, key := range keys {
+		p := mustLookup(key)
+		res := measured[i]
+		fmt.Printf("\n--- %s (%s) ---\n", p.Name, p.FS.Name)
 		fmt.Print(report.BeffIOProtocol(res))
 		if *csvDir != "" {
 			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -263,7 +320,6 @@ func runFig4() {
 			fatal(report.BeffIOCSV(f, key, res))
 			fatal(f.Close())
 		}
-		fmt.Fprintf(os.Stderr, "  detailed %s\n", key)
 	}
 	fmt.Println()
 }
@@ -284,35 +340,36 @@ func runFig5() {
 			"sx5":        {4, 8},
 		}
 	}
+	keys := []string{"sp", "t3e", "sr8000-seq", "sx5"}
+	var cells []runner.Cell[*beffio.Result]
+	for _, key := range keys {
+		for _, n := range sizesFor[key] {
+			cells = append(cells, runner.BeffIOCell(key, n, beffio.Options{
+				T:                 des.DurationOf(*ioT),
+				MaxRepsPerPattern: 1 << 14,
+			}))
+		}
+	}
+	measured := ioSweep("fig5", cells)
 	var series []report.Series
-	for _, key := range []string{"sp", "t3e", "sr8000-seq", "sx5"} {
-		p, err := machine.Lookup(key)
-		fatal(err)
-		results, err := beffio.Sweep(ioSetup(p), sizesFor[key], beffio.Options{
-			T:                 des.DurationOf(*ioT),
-			MPart:             p.MPart(),
-			MaxRepsPerPattern: 1 << 14,
-		})
-		fatal(err)
+	i := 0
+	for _, key := range keys {
+		p := mustLookup(key)
 		s := report.Series{Name: p.Name, Points: map[int]float64{}}
-		for _, r := range results {
-			s.Points[r.Procs] = r.BeffIO
+		var results []*beffio.Result
+		for range sizesFor[key] {
+			results = append(results, measured[i])
+			s.Points[measured[i].Procs] = measured[i].BeffIO
+			i++
 		}
 		series = append(series, s)
 		best := beffio.SystemValue(results)
 		fmt.Printf("%-28s system b_eff_io = %8.1f MB/s (at %d procs)\n", p.Key, best.BeffIO/1e6, best.Procs)
-		fmt.Fprintf(os.Stderr, "  swept %s\n", key)
 	}
 	fmt.Println()
 	fmt.Print(report.SweepChart("b_eff_io (MB/s) per partition size", series))
 	fmt.Println()
-	var csv [][]string
-	for _, s := range series {
-		for procs, v := range s.Points {
-			csv = append(csv, []string{s.Name, fmt.Sprint(procs), fmt.Sprintf("%.2f", v/1e6)})
-		}
-	}
-	writeCSV("fig5.csv", []string{"series", "procs", "beffio_mbps"}, csv)
+	writeCSV("fig5.csv", []string{"series", "procs", "beffio_mbps"}, seriesCSV(series))
 }
 
 func fatal(err error) {

@@ -4,52 +4,65 @@
 // maximum at a modest partition); on the SP/GPFS model bandwidth
 // tracks the number of client nodes until the VSD servers saturate.
 //
+// The ten (machine, partition) cells are independent simulations, so
+// the study runs them through the experiment runner: -j picks the
+// worker count, and a second invocation renders entirely from the
+// -cache directory.
+//
 //	go run ./examples/scalingstudy
+//	go run ./examples/scalingstudy -j 4       # fan out
+//	go run ./examples/scalingstudy -no-cache  # force recompute
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"github.com/hpcbench/beff/internal/beffio"
 	"github.com/hpcbench/beff/internal/des"
 	"github.com/hpcbench/beff/internal/machine"
-	"github.com/hpcbench/beff/internal/mpi"
 	"github.com/hpcbench/beff/internal/report"
-	"github.com/hpcbench/beff/internal/simfs"
+	"github.com/hpcbench/beff/internal/runner"
 )
 
 func main() {
+	var rf runner.Flags
+	rf.Register(flag.CommandLine)
+	flag.Parse()
+
 	sizes := []int{2, 4, 8, 16, 32}
+	keys := []string{"t3e", "sp"}
+	var cells []runner.Cell[*beffio.Result]
+	for _, key := range keys {
+		for _, n := range sizes {
+			cells = append(cells, runner.BeffIOCell(key, n, beffio.Options{
+				T:                 30 * des.Second,
+				SkipTypes:         []beffio.PatternType{beffio.Segmented},
+				MaxRepsPerPattern: 1 << 12,
+			}))
+		}
+	}
+	results := runner.Sweep(cells, rf.Options("scalingstudy"))
+	if err := runner.Err(results); err != nil {
+		log.Fatal(err)
+	}
+
 	var series []report.Series
-	for _, key := range []string{"t3e", "sp"} {
+	for ki, key := range keys {
 		p, err := machine.Lookup(key)
 		if err != nil {
 			log.Fatal(err)
 		}
-		setup := func(n int) (mpi.WorldConfig, *simfs.FS, error) {
-			w, err := p.BuildIOWorld(n)
-			if err != nil {
-				return mpi.WorldConfig{}, nil, err
-			}
-			fs, err := p.BuildFS()
-			return w, fs, err
-		}
-		results, err := beffio.Sweep(setup, sizes, beffio.Options{
-			T:                 30 * des.Second,
-			MPart:             p.MPart(),
-			SkipTypes:         []beffio.PatternType{beffio.Segmented},
-			MaxRepsPerPattern: 1 << 12,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
 		s := report.Series{Name: p.Name, Points: map[int]float64{}}
-		for _, r := range results {
+		var swept []*beffio.Result
+		for ni := range sizes {
+			r := results[ki*len(sizes)+ni].Value
+			swept = append(swept, r)
 			s.Points[r.Procs] = r.BeffIO
 		}
 		series = append(series, s)
-		best := beffio.SystemValue(results)
+		best := beffio.SystemValue(swept)
 		fmt.Printf("%-28s max b_eff_io = %7.1f MB/s at %d I/O processes\n",
 			p.Name, best.BeffIO/1e6, best.Procs)
 	}

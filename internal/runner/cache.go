@@ -1,0 +1,122 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DefaultCacheDir is where commands keep their result cache.
+const DefaultCacheDir = ".beffcache"
+
+// codeVersion salts every cache key. Bump it whenever a change to the
+// simulator or the benchmarks alters results: old entries then miss by
+// construction instead of serving stale protocols.
+const codeVersion = "beff-sim-v1"
+
+// Cache is a content-addressed result store: SHA-256 of (code-version
+// salt, canonical-JSON fingerprint) names a JSON file under dir. Safe
+// for concurrent use by sweep workers — entries are immutable for a
+// given key and written atomically via rename.
+type Cache struct {
+	dir  string
+	salt string
+}
+
+// OpenCache creates dir (if needed) and returns a cache rooted there.
+// An empty dir means DefaultCacheDir.
+func OpenCache(dir string) (*Cache, error) {
+	if dir == "" {
+		dir = DefaultCacheDir
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: open cache: %w", err)
+	}
+	return &Cache{dir: dir, salt: codeVersion}, nil
+}
+
+// Dir reports the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// keyFor hashes a fingerprint into the entry name. encoding/json is
+// canonical enough for this: struct fields marshal in declaration
+// order and map keys are sorted.
+func (c *Cache) keyFor(fingerprint any) (string, error) {
+	fp, err := json.Marshal(fingerprint)
+	if err != nil {
+		return "", fmt.Errorf("runner: fingerprint not hashable: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte(c.salt))
+	h.Write([]byte{'\n'})
+	h.Write(fp)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// entry is the on-disk format. Key and Fingerprint are for humans
+// inspecting the cache; only Value is read back.
+type entry struct {
+	Key         string          `json:"key"`
+	Fingerprint json.RawMessage `json:"fingerprint"`
+	Value       json.RawMessage `json:"value"`
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// load reads an entry into the pointer `into`. Any failure — missing
+// file, truncated or corrupted JSON, value shape mismatch — reports a
+// miss so the caller recomputes; the subsequent store repairs the
+// entry.
+func (c *Cache) load(key string, into any) bool {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return false
+	}
+	if len(e.Value) == 0 {
+		return false
+	}
+	return json.Unmarshal(e.Value, into) == nil
+}
+
+// store writes an entry atomically (temp file + rename). Failures are
+// swallowed: a cache that cannot persist degrades to recomputation,
+// it never fails the sweep.
+func (c *Cache) store(key, cellKey string, fingerprint, value any) {
+	val, err := json.Marshal(value)
+	if err != nil {
+		return
+	}
+	fp, err := json.Marshal(fingerprint)
+	if err != nil {
+		return
+	}
+	data, err := json.MarshalIndent(entry{Key: cellKey, Fingerprint: fp, Value: val}, "", " ")
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}

@@ -1,0 +1,88 @@
+package runner_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/hpcbench/beff/internal/runner"
+)
+
+// A sweep fans independent cells over a worker pool; results come back
+// in cell order no matter which worker finishes first, so rendered
+// output is deterministic at any -j.
+func ExampleSweep() {
+	machines := []string{"t3e", "sp", "sx5"}
+	cells := make([]runner.Cell[string], len(machines))
+	for i, m := range machines {
+		m := m
+		cells[i] = runner.Cell[string]{
+			Key: m,
+			Run: func() (string, error) { return "measured " + m, nil },
+		}
+	}
+	results := runner.Sweep(cells, runner.Options{Workers: 3})
+	if err := runner.Err(results); err != nil {
+		panic(err)
+	}
+	for _, r := range results {
+		fmt.Println(r.Key, "->", r.Value)
+	}
+	// Output:
+	// t3e -> measured t3e
+	// sp -> measured sp
+	// sx5 -> measured sx5
+}
+
+// A failing cell does not kill the sweep; Err summarises the failures
+// so commands can exit non-zero instead of printing partial tables.
+func ExampleErr() {
+	cells := []runner.Cell[int]{
+		{Key: "good", Run: func() (int, error) { return 42, nil }},
+		{Key: "bad", Run: func() (int, error) { return 0, fmt.Errorf("unknown machine") }},
+	}
+	results := runner.Sweep(cells, runner.Options{Workers: 1})
+	fmt.Println(results[0].Value, results[0].Err)
+	fmt.Println(runner.Err(results))
+	// Output:
+	// 42 <nil>
+	// 1 of 2 cells failed:
+	//   bad: unknown machine
+}
+
+// The cache is content-addressed: a cell reruns only when its
+// fingerprint (machine config + benchmark parameters) changes.
+func ExampleOpenCache() {
+	dir, err := os.MkdirTemp("", "beffcache")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	cache, err := runner.OpenCache(filepath.Join(dir, "cache"))
+	if err != nil {
+		panic(err)
+	}
+
+	computed := 0
+	cell := func(procs int) runner.Cell[int] {
+		return runner.Cell[int]{
+			Key: fmt.Sprintf("cluster@%d", procs),
+			Fingerprint: struct {
+				Machine, Bench string
+				Procs          int
+			}{"cluster", "beff", procs},
+			Run: func() (int, error) { computed++; return procs * 100, nil },
+		}
+	}
+	opt := runner.Options{Cache: cache}
+	runner.Sweep([]runner.Cell[int]{cell(4)}, opt) // cold: computes
+	warm := runner.Sweep([]runner.Cell[int]{cell(4)}, opt)
+	miss := runner.Sweep([]runner.Cell[int]{cell(8)}, opt) // changed config
+	fmt.Println("computed:", computed)
+	fmt.Println("warm hit:", warm[0].Cached, "value:", warm[0].Value)
+	fmt.Println("changed procs cached:", miss[0].Cached)
+	// Output:
+	// computed: 2
+	// warm hit: true value: 400
+	// changed procs cached: false
+}

@@ -1,0 +1,48 @@
+package trace_test
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/trace"
+)
+
+// A Collector plugs into the simulation through two plain hooks:
+// simnet.Config.OnTransfer for messages and simfs.Config.OnServerOp for
+// disk operations. Here the hooks are invoked directly with a tiny
+// hand-made schedule; in a real run the network and filesystem call
+// them (see examples/tracing and cmd/beff -trace).
+func ExampleCollector_Summarize() {
+	c := trace.New()
+	us := func(n int64) des.Time { return des.Time(n * 1000) }
+
+	// Rank 0 sends 1 kB to rank 1 twice; rank 1 answers once.
+	c.OnTransfer(0, 1, 1024, us(0), us(10))
+	c.OnTransfer(0, 1, 1024, us(10), us(20))
+	c.OnTransfer(1, 0, 1024, us(20), us(30))
+	// Server 0 absorbs one 64 kB write.
+	c.OnServerOp(0, true, 64<<10, us(30), us(200))
+
+	s := c.Summarize()
+	fmt.Println(s)
+	// Output:
+	// trace: 3 messages (3072 bytes), busiest pair 0->1 (2048 bytes); 1 disk ops (65536 bytes), busiest server 0 (65536 bytes); horizon 200.000us
+}
+
+// WriteChromeTrace renders the same events as Chrome trace-event JSON,
+// loadable in chrome://tracing or Perfetto: processors appear as pid 0
+// rows, I/O servers as pid 1.
+func ExampleCollector_WriteChromeTrace() {
+	c := trace.New()
+	c.OnTransfer(0, 1, 256, 0, des.Time(5000))
+	c.OnServerOp(2, false, 4096, des.Time(5000), des.Time(9000))
+	if err := c.WriteChromeTrace(os.Stdout); err != nil {
+		panic(err)
+	}
+	// Output:
+	// [
+	//   {"name":"msg 0->1","ph":"X","ts":0.000,"dur":5.000,"pid":0,"tid":0,"args":{"bytes":256,"dst":1}},
+	//   {"name":"disk read","ph":"X","ts":5.000,"dur":4.000,"pid":1,"tid":2,"args":{"bytes":4096}}
+	// ]
+}
