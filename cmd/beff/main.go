@@ -7,6 +7,7 @@
 //	beff -machine t3e -procs 64
 //	beff -machine sr8000-rr -procs 24 -protocol
 //	beff -machine sx5 -procs 4 -csv beff.csv
+//	beff -machine t3e -procs 16 -perturb stormy -seed 3 -reps 3
 //	beff -list
 package main
 
@@ -14,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/des"
 	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/perturb"
 	"github.com/hpcbench/beff/internal/report"
 	"github.com/hpcbench/beff/internal/trace"
 )
@@ -28,8 +31,9 @@ func main() {
 		configPath = flag.String("config", "", "JSON machine definition file (overrides -machine)")
 		procs      = flag.Int("procs", 8, "number of MPI processes")
 		maxLoop    = flag.Int("maxloop", 8, "max looplength (300 = paper-faithful; smaller = faster simulation)")
-		reps       = flag.Int("reps", 1, "repetitions per measurement (paper uses 3; the simulator is noise-free)")
-		seed       = flag.Int64("seed", 1, "seed for the random polygons")
+		reps       = flag.Int("reps", 1, "repetitions per measurement (paper uses 3; matters under -perturb, where timings vary)")
+		seed       = flag.Int64("seed", 1, "seed for the random polygons and the -perturb fault schedule")
+		perturbArg = flag.String("perturb", "", "fault-injection profile: preset name ("+strings.Join(perturb.Presets(), ", ")+") or JSON file; empty disables perturbation")
 		protocol   = flag.Bool("protocol", false, "print the full measurement protocol")
 		csvPath    = flag.String("csv", "", "write the per-pattern/size/method data as CSV to this file")
 		skampi     = flag.String("skampi", "", "write SKaMPI-comparison-page records to this file")
@@ -50,6 +54,13 @@ func main() {
 	fatal(err)
 	w, err := p.BuildWorld(*procs)
 	fatal(err)
+
+	if *perturbArg != "" {
+		prof, err := perturb.Load(*perturbArg)
+		fatal(err)
+		prof.ApplyNet(w.Net, *seed)
+		fmt.Printf("perturbation: %s (seed %d)\n", prof.Name, *seed)
+	}
 
 	var col *trace.Collector
 	if *tracePath != "" {

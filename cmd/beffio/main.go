@@ -8,6 +8,7 @@
 //	beffio -machine t3e -procs 16 -T 120 -detail
 //	beffio -machine sx5 -procs 4 -csv io.csv
 //	beffio -machine sp -sweep 8,16,32,64
+//	beffio -machine sp -procs 8 -perturb io-hiccup -seed 3 -reps 3
 package main
 
 import (
@@ -22,8 +23,10 @@ import (
 	"github.com/hpcbench/beff/internal/machine"
 	"github.com/hpcbench/beff/internal/mpi"
 	"github.com/hpcbench/beff/internal/mpiio"
+	"github.com/hpcbench/beff/internal/perturb"
 	"github.com/hpcbench/beff/internal/report"
 	"github.com/hpcbench/beff/internal/simfs"
+	"github.com/hpcbench/beff/internal/stats"
 )
 
 func main() {
@@ -41,6 +44,9 @@ func main() {
 		csvPath    = flag.String("csv", "", "write the detail protocol as CSV to this file")
 		sweep      = flag.String("sweep", "", "comma-separated partition sizes; runs each and reports the system maximum")
 		maxReps    = flag.Int("maxreps", 1<<14, "cap repetitions per pattern (bounds simulation cost)")
+		perturbArg = flag.String("perturb", "", "fault-injection profile: preset name ("+strings.Join(perturb.Presets(), ", ")+") or JSON file; empty disables perturbation")
+		seed       = flag.Int64("seed", 1, "seed for the -perturb fault schedule")
+		reps       = flag.Int("reps", 1, "repetitions of the whole benchmark; with -perturb each uses an independently derived seed and the maximum is reported")
 	)
 	flag.Parse()
 
@@ -65,24 +71,40 @@ func main() {
 		opt.SkipTypes = []beffio.PatternType{beffio.Segmented}
 	}
 
-	setup := func(n int) (mpi.WorldConfig, *simfs.FS, error) {
-		w, err := p.BuildIOWorld(n)
-		if err != nil {
-			return mpi.WorldConfig{}, nil, err
+	var prof *perturb.Profile
+	if *perturbArg != "" {
+		prof, err = perturb.Load(*perturbArg)
+		fatal(err)
+		fmt.Printf("perturbation: %s (seed %d)\n", prof.Name, *seed)
+	}
+
+	// setupWith builds the per-run world; the perturbation profile is
+	// applied inside the closure so every fresh world of a -sweep or
+	// -reps run gets the fault schedule for its own seed.
+	setupWith := func(perturbSeed int64) func(int) (mpi.WorldConfig, *simfs.FS, error) {
+		return func(n int) (mpi.WorldConfig, *simfs.FS, error) {
+			w, err := p.BuildIOWorld(n)
+			if err != nil {
+				return mpi.WorldConfig{}, nil, err
+			}
+			if p.FS == nil {
+				return mpi.WorldConfig{}, nil, fmt.Errorf("machine %s has no I/O model", p.Key)
+			}
+			fsCfg := *p.FS
+			fsCfg.BackgroundLoad = *bgLoad
+			fs, err := simfs.New(fsCfg)
+			if err != nil {
+				return mpi.WorldConfig{}, nil, err
+			}
+			prof.Apply(w.Net, fs, perturbSeed)
+			return w, fs, nil
 		}
-		if p.FS == nil {
-			return mpi.WorldConfig{}, nil, fmt.Errorf("machine %s has no I/O model", p.Key)
-		}
-		fsCfg := *p.FS
-		fsCfg.BackgroundLoad = *bgLoad
-		fs, err := simfs.New(fsCfg)
-		return w, fs, err
 	}
 
 	if *sweep != "" {
 		sizes, err := parseSizes(*sweep)
 		fatal(err)
-		results, err := beffio.Sweep(setup, sizes, opt)
+		results, err := beffio.Sweep(setupWith(*seed), sizes, opt)
 		fatal(err)
 		series := report.Series{Name: p.Name, Points: map[int]float64{}}
 		for _, r := range results {
@@ -95,7 +117,30 @@ func main() {
 		return
 	}
 
-	w, fs, err := setup(*procs)
+	if *reps > 1 {
+		// Whole-benchmark repetitions: each runs against a fresh world
+		// and filesystem under an independently derived fault-schedule
+		// seed, and the maximum over repetitions is reported (the
+		// paper's rule for repeated measurements).
+		values := make([]float64, 0, *reps)
+		for r := 0; r < *reps; r++ {
+			rs := perturb.RepSeed(*seed, r)
+			w, fs, err := setupWith(rs)(*procs)
+			fatal(err)
+			res, err := beffio.Run(w, fs, opt)
+			fatal(err)
+			values = append(values, res.BeffIO)
+			fmt.Printf("rep %2d (seed %20d): b_eff_io = %9.1f MB/s\n", r, rs, res.BeffIO/1e6)
+		}
+		s := stats.Describe(values...)
+		fmt.Printf("\nmin / median / max = %.1f / %.1f / %.1f MB/s   mean %.1f   CV %.2f%%\n",
+			s.Min/1e6, s.Median/1e6, s.Max/1e6, s.Mean/1e6, 100*s.CV)
+		fmt.Printf("reported b_eff_io (max over %d repetitions) = %.1f MB/s (%d processes, T = %v)\n",
+			*reps, s.Max/1e6, *procs, opt.T)
+		return
+	}
+
+	w, fs, err := setupWith(*seed)(*procs)
 	fatal(err)
 	res, err := beffio.Run(w, fs, opt)
 	fatal(err)

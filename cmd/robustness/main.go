@@ -1,0 +1,153 @@
+// Command robustness characterises a benchmark's run-to-run
+// variability under fault injection: it runs b_eff (or b_eff_io) N
+// times on a simulated machine, each repetition under the same
+// perturbation profile but an independently derived seed, and reports
+// the distribution — min, median, max, mean, coefficient of variation
+// — together with the paper-prescribed max-over-repetitions value and
+// the unperturbed baseline.
+//
+// Repetitions are independent simulation cells: they fan out over -j
+// workers and memoise in the shared result cache (the perturbation
+// profile and per-repetition seed are part of each cell's cache
+// fingerprint). Output is byte-identical across invocations and across
+// -j values.
+//
+// Usage:
+//
+//	robustness -machine t3e -procs 16 -reps 8 -perturb stormy
+//	robustness -machine sp -procs 8 -reps 5 -perturb os-noise -seed 7
+//	robustness -machine sp -procs 8 -io -perturb io-hiccup -T 30
+//	robustness -list-presets
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/perturb"
+	"github.com/hpcbench/beff/internal/runner"
+)
+
+func main() {
+	var (
+		machineKey  = flag.String("machine", "cluster", "machine profile key")
+		procs       = flag.Int("procs", 8, "number of MPI / I/O processes")
+		reps        = flag.Int("reps", 5, "independent perturbed repetitions")
+		perturbArg  = flag.String("perturb", "stormy", "perturbation profile: preset name or JSON file")
+		seed        = flag.Int64("seed", 1, "base seed; repetition r runs under RepSeed(seed, r)")
+		maxLoop     = flag.Int("maxloop", 8, "b_eff: max looplength")
+		innerReps   = flag.Int("inner-reps", 3, "b_eff: in-run repetitions per measurement (the paper's 3)")
+		ioBench     = flag.Bool("io", false, "measure b_eff_io instead of b_eff")
+		tSecs       = flag.Float64("T", 60, "b_eff_io: scheduled time per partition in virtual seconds")
+		baseline    = flag.Bool("baseline", true, "also run the unperturbed cell for comparison")
+		csvPath     = flag.String("csv", "", "write per-repetition values as CSV to this file")
+		listPresets = flag.Bool("list-presets", false, "list built-in perturbation presets and exit")
+	)
+	rf := &runner.Flags{}
+	rf.Register(flag.CommandLine)
+	flag.Parse()
+
+	if *listPresets {
+		for _, name := range perturb.Presets() {
+			p, _ := perturb.Preset(name)
+			fmt.Printf("%-12s %d link, %d noise, %d straggler, %d I/O fault(s)\n",
+				name, len(p.Links), len(p.Noise), len(p.Stragglers), len(p.IO))
+		}
+		return
+	}
+	if *reps < 1 {
+		fatal(fmt.Errorf("need at least one repetition, got %d", *reps))
+	}
+
+	prof, err := perturb.Load(*perturbArg)
+	fatal(err)
+	p, err := machine.Lookup(*machineKey)
+	fatal(err)
+
+	var bench string
+	var values []float64
+	var base float64
+	if *ioBench {
+		bench = "b_eff_io"
+		opt := beffio.Options{T: des.DurationOf(*tSecs), MPart: p.MPart()}
+		cells := make([]runner.Cell[*beffio.Result], 0, *reps+1)
+		for r := 0; r < *reps; r++ {
+			cells = append(cells, runner.RobustBeffIOCell(*machineKey, *procs, opt, prof, *seed, r))
+		}
+		if *baseline {
+			cells = append(cells, runner.RobustBeffIOCell(*machineKey, *procs, opt, nil, 0, 0))
+		}
+		results := runner.Sweep(cells, rf.Options("robustness"))
+		fatal(runner.Err(results))
+		for r := 0; r < *reps; r++ {
+			values = append(values, results[r].Value.BeffIO)
+		}
+		if *baseline {
+			base = results[*reps].Value.BeffIO
+		}
+	} else {
+		bench = "b_eff"
+		opt := core.Options{MemoryPerProc: p.MemoryPerProc, MaxLooplength: *maxLoop, Reps: *innerReps}
+		cells := make([]runner.Cell[*core.Result], 0, *reps+1)
+		for r := 0; r < *reps; r++ {
+			cells = append(cells, runner.RobustBeffCell(*machineKey, *procs, opt, prof, *seed, r))
+		}
+		if *baseline {
+			cells = append(cells, runner.RobustBeffCell(*machineKey, *procs, opt, nil, 0, 0))
+		}
+		results := runner.Sweep(cells, rf.Options("robustness"))
+		fatal(runner.Err(results))
+		for r := 0; r < *reps; r++ {
+			values = append(values, results[r].Value.Beff)
+		}
+		if *baseline {
+			base = results[*reps].Value.Beff
+		}
+	}
+
+	rob := runner.SummarizeReps(values)
+	fmt.Printf("robustness of %s on %s @ %d procs — profile %q, base seed %d, %d repetitions\n",
+		bench, p.Name, *procs, prof.Name, *seed, *reps)
+	fmt.Printf("%4s  %20s  %12s\n", "rep", "seed", bench+" MB/s")
+	for r, v := range values {
+		fmt.Printf("%4d  %20d  %12.1f\n", r, perturb.RepSeed(*seed, r), v/1e6)
+	}
+	s := rob.Summary
+	fmt.Printf("\nmin / median / max = %.1f / %.1f / %.1f MB/s   mean %.1f   CV %.2f%%\n",
+		s.Min/1e6, s.Median/1e6, s.Max/1e6, s.Mean/1e6, 100*s.CV)
+	fmt.Printf("reported %s (max over repetitions) = %.1f MB/s", bench, rob.MaxOverReps/1e6)
+	if *baseline && base > 0 {
+		fmt.Printf("   (%.1f%% of unperturbed %.1f MB/s)", 100*rob.MaxOverReps/base, base/1e6)
+	}
+	fmt.Println()
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		fatal(err)
+		w := csv.NewWriter(f)
+		fatal(w.Write([]string{"machine", "bench", "profile", "rep", "seed", "value_bytes_per_s"}))
+		for r, v := range values {
+			fatal(w.Write([]string{*machineKey, bench, prof.Name, strconv.Itoa(r),
+				strconv.FormatInt(perturb.RepSeed(*seed, r), 10),
+				strconv.FormatFloat(v, 'g', -1, 64)}))
+		}
+		w.Flush()
+		fatal(w.Error())
+		fatal(f.Close())
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "robustness:", err)
+		os.Exit(1)
+	}
+}

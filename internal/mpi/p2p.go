@@ -104,8 +104,9 @@ func (c *Comm) isend(dst, tag int, size int64, data []byte) *Request {
 	}
 	w.deliver(dstWorld, m)
 	// CPU submission cost: the same software overhead the network model
-	// charges before injection.
-	p.Sleep(w.net.Config().SendOverhead)
+	// charges before injection, including any straggler slowdown of the
+	// sending processor.
+	p.Sleep(w.net.SendOverheadFor(sp))
 	return req
 }
 

@@ -1,0 +1,179 @@
+package perturb
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/simfs"
+	"github.com/hpcbench/beff/internal/simnet"
+)
+
+// ApplyNet installs the profile's link, noise and straggler faults on a
+// built network. It must be called before the simulation starts (the
+// hooks are not synchronised) and applies to this Net instance only:
+// a repetition sweep builds a fresh world per repetition and applies
+// the profile with that repetition's seed. A nil or empty profile is a
+// no-op.
+func (pr *Profile) ApplyNet(net *simnet.Net, seed int64) {
+	if pr == nil || net == nil {
+		return
+	}
+	pr.applyLinks(net, seed)
+	pr.applyProcs(net, seed)
+}
+
+// applyLinks composes, per resource, every LinkFault whose Match
+// selects it, and installs one time-varying bandwidth factor.
+func (pr *Profile) applyLinks(net *simnet.Net, seed int64) {
+	if len(pr.Links) == 0 {
+		return
+	}
+	for _, r := range net.Resources() {
+		type active struct {
+			f   *LinkFault
+			key uint64
+		}
+		var acts []active
+		for i := range pr.Links {
+			f := &pr.Links[i]
+			if f.Match != "" && !strings.Contains(r.Name(), f.Match) {
+				continue
+			}
+			// The fault index enters the stream key so two faults on the
+			// same resource flap independently.
+			acts = append(acts, active{f, streamKey(seed, fmt.Sprintf("link:%d:%s", i, r.Name()))})
+		}
+		if len(acts) == 0 {
+			continue
+		}
+		r.SetScale(func(at des.Time) float64 {
+			factor := 1.0
+			for _, a := range acts {
+				factor *= a.f.factorAt(a.key, at)
+			}
+			return factor
+		})
+	}
+}
+
+// applyProcs installs the per-processor stall (OS noise) and overhead
+// slowdown (stragglers) hooks.
+func (pr *Profile) applyProcs(net *simnet.Net, seed int64) {
+	n := net.NumProcs()
+
+	var stall func(proc int, at des.Time) des.Duration
+	if len(pr.Noise) > 0 {
+		keys := make([][]uint64, len(pr.Noise))
+		for i := range pr.Noise {
+			keys[i] = make([]uint64, n)
+			for p := 0; p < n; p++ {
+				keys[i][p] = streamKey(seed, fmt.Sprintf("noise:%d:proc%d", i, p))
+			}
+		}
+		stall = func(proc int, at des.Time) des.Duration {
+			var d des.Duration
+			for i := range pr.Noise {
+				f := &pr.Noise[i]
+				if !affects(f.Procs, proc) {
+					continue
+				}
+				if s := f.stallAt(keys[i][proc], at); s > d {
+					d = s // concurrent detours overlap, they do not stack
+				}
+			}
+			return d
+		}
+	}
+
+	var slowdown func(proc int) float64
+	if len(pr.Stragglers) > 0 {
+		factors := make([]float64, n)
+		for p := range factors {
+			factors[p] = 1
+		}
+		for i := range pr.Stragglers {
+			f := &pr.Stragglers[i]
+			for _, p := range pr.stragglerProcs(i, seed, n) {
+				factors[p] *= f.Slowdown
+			}
+		}
+		slowdown = func(proc int) float64 { return factors[proc] }
+	}
+
+	if stall != nil || slowdown != nil {
+		net.SetProcPerturb(stall, slowdown)
+	}
+}
+
+// stragglerProcs resolves which processors straggler fault i slows:
+// the explicit list, or Count seeded-random distinct draws from the
+// partition.
+func (pr *Profile) stragglerProcs(i int, seed int64, n int) []int {
+	f := &pr.Stragglers[i]
+	if len(f.Procs) > 0 {
+		var ps []int
+		for _, p := range f.Procs {
+			if p >= 0 && p < n {
+				ps = append(ps, p)
+			}
+		}
+		return ps
+	}
+	count := f.Count
+	if count > n {
+		count = n
+	}
+	key := streamKey(seed, fmt.Sprintf("straggler:%d", i))
+	seen := make(map[int]bool, count)
+	var ps []int
+	for idx := uint64(0); len(ps) < count; idx++ {
+		p := int(draw(key, idx) * float64(n))
+		if p >= n { // draw() < 1, but guard the float edge anyway
+			p = n - 1
+		}
+		if !seen[p] {
+			seen[p] = true
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// ApplyFS installs the profile's I/O-server hiccups on a built
+// filesystem. Like ApplyNet it must run before the simulation starts;
+// a nil or empty profile is a no-op.
+func (pr *Profile) ApplyFS(fs *simfs.FS, seed int64) {
+	if pr == nil || fs == nil || len(pr.IO) == 0 {
+		return
+	}
+	nsrv := fs.Config().Servers
+	keys := make([][]uint64, len(pr.IO))
+	for i := range pr.IO {
+		keys[i] = make([]uint64, nsrv)
+		for s := 0; s < nsrv; s++ {
+			keys[i][s] = streamKey(seed, fmt.Sprintf("io:%d:server%d", i, s))
+		}
+	}
+	faults := pr.IO
+	fs.SetServerPerturb(func(server int, at des.Time) des.Duration {
+		var d des.Duration
+		for i := range faults {
+			f := &faults[i]
+			if !affects(f.Servers, server) {
+				continue
+			}
+			if s := f.stallAt(keys[i][server], at); s > d {
+				d = s
+			}
+		}
+		return d
+	})
+}
+
+// Apply installs the profile on a network and/or filesystem (either may
+// be nil) with one call — what the CLIs and the repetition harness use.
+func (pr *Profile) Apply(net *simnet.Net, fs *simfs.FS, seed int64) {
+	pr.ApplyNet(net, seed)
+	pr.ApplyFS(fs, seed)
+}

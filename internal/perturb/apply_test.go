@@ -1,0 +1,182 @@
+package perturb
+
+import (
+	"testing"
+
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/simnet"
+)
+
+// torusNet builds a small 2x2x2 torus network for fault tests.
+func torusNet() *simnet.Net {
+	return simnet.New(simnet.Config{
+		Fabric:       simnet.NewTorus3D(2, 2, 2, 300e6, 1*des.Microsecond, 100*des.Nanosecond),
+		TxBandwidth:  600e6,
+		RxBandwidth:  600e6,
+		SendOverhead: 2 * des.Microsecond,
+		RecvOverhead: 2 * des.Microsecond,
+	})
+}
+
+// fatTreeNet builds an oversubscribed two-leaf fat tree.
+func fatTreeNet() *simnet.Net {
+	return simnet.New(simnet.Config{
+		Fabric: simnet.NewFatTree(simnet.FatTreeConfig{
+			Procs: 8, LeafSize: 4, Uplinks: 2, LinkBW: 300e6,
+			IntraLat: 1 * des.Microsecond, InterLat: 3 * des.Microsecond,
+		}),
+		TxBandwidth:  600e6,
+		RxBandwidth:  600e6,
+		SendOverhead: 2 * des.Microsecond,
+		RecvOverhead: 2 * des.Microsecond,
+	})
+}
+
+// makespan drives one round of all-pairs-shifted traffic through the net
+// at time zero and reports when the last payload arrives. Transfers book
+// resources directly, so no engine is needed.
+func makespan(net *simnet.Net, size int64) des.Duration {
+	n := net.NumProcs()
+	var last des.Time
+	for shift := 1; shift < n; shift++ {
+		for src := 0; src < n; src++ {
+			_, arr := net.Transfer(src, (src+shift)%n, size, 0)
+			if arr > last {
+				last = arr
+			}
+		}
+	}
+	return des.Duration(last)
+}
+
+// TestTorusDegradationMonotone is the satellite acceptance property:
+// scaling torus link bandwidth down must scale aggregate bandwidth down,
+// strictly and monotonically.
+func TestTorusDegradationMonotone(t *testing.T) {
+	testDegradationMonotone(t, torusNet, "link")
+}
+
+// TestFatTreeDegradationMonotone does the same for the fat tree's up-
+// and downlinks.
+func TestFatTreeDegradationMonotone(t *testing.T) {
+	testDegradationMonotone(t, fatTreeNet, "") // empty match: links and NICs
+}
+
+func testDegradationMonotone(t *testing.T, build func() *simnet.Net, match string) {
+	t.Helper()
+	const size = 1 << 20
+	var prev des.Duration
+	for i, factor := range []float64{1.0, 0.5, 0.25, 0.1} {
+		net := build()
+		if factor < 1 {
+			pr := &Profile{Links: []LinkFault{{Match: match, Factor: factor}}}
+			pr.ApplyNet(net, 1)
+		}
+		ms := makespan(net, size)
+		if ms <= 0 {
+			t.Fatalf("factor %v: no traffic simulated", factor)
+		}
+		if i > 0 && ms <= prev {
+			t.Fatalf("factor %v: makespan %v not above the faster net's %v — degradation not monotone",
+				factor, ms, prev)
+		}
+		prev = ms
+	}
+}
+
+// TestLinkFaultMatchesSubsetOnly pins the Match semantics: degrading
+// only the fabric links must hurt less than degrading everything.
+func TestLinkFaultMatchesSubsetOnly(t *testing.T) {
+	const size = 1 << 20
+	base := makespan(torusNet(), size)
+
+	linksOnly := torusNet()
+	(&Profile{Links: []LinkFault{{Match: "link", Factor: 0.25}}}).ApplyNet(linksOnly, 1)
+	msLinks := makespan(linksOnly, size)
+
+	everything := torusNet()
+	(&Profile{Links: []LinkFault{{Factor: 0.25}}}).ApplyNet(everything, 1)
+	msAll := makespan(everything, size)
+
+	if !(base < msLinks && msLinks < msAll) {
+		t.Errorf("want base %v < links-only %v < everything %v", base, msLinks, msAll)
+	}
+}
+
+// TestNoiseDelaysTransfers pins the OS-noise hook: a detour at the
+// send time pushes the arrival back by the remaining detour.
+func TestNoiseDelaysTransfers(t *testing.T) {
+	quiet := torusNet()
+	_, cleanArr := quiet.Transfer(0, 1, 4096, 0)
+
+	noisy := torusNet()
+	// Deterministic (jitter-free) detour: 1 ms stall at each 10 ms
+	// window start, so a transfer at t=0 waits out the full detour.
+	(&Profile{Noise: []NoiseFault{{Period: 10e-3, Detour: 1e-3}}}).ApplyNet(noisy, 1)
+	_, noisyArr := noisy.Transfer(0, 1, 4096, 0)
+
+	delay := noisyArr.Sub(des.Time(0)) - cleanArr.Sub(des.Time(0))
+	if delay < des.Duration(des.Millisecond) {
+		t.Errorf("noise delayed the transfer by %v, want >= the 1ms detour", delay)
+	}
+
+	// Between detours the perturbed net behaves exactly like the clean
+	// one (same virtual start time, same booking state).
+	mid := des.Time(5 * des.Millisecond)
+	_, a := torusNet().Transfer(0, 1, 4096, mid)
+	b2 := torusNet()
+	(&Profile{Noise: []NoiseFault{{Period: 10e-3, Detour: 1e-3}}}).ApplyNet(b2, 1)
+	_, b := b2.Transfer(0, 1, 4096, mid)
+	if a != b {
+		t.Errorf("transfer outside the detour differs: %v vs %v", a, b)
+	}
+}
+
+// TestStragglerScalesOverheads pins the straggler hook on the exact
+// processors the profile names.
+func TestStragglerScalesOverheads(t *testing.T) {
+	net := torusNet()
+	(&Profile{Stragglers: []Straggler{{Procs: []int{3}, Slowdown: 4}}}).ApplyNet(net, 1)
+	base := net.Config().SendOverhead
+	if got := net.SendOverheadFor(3); got != 4*base {
+		t.Errorf("straggler overhead = %v, want %v", got, 4*base)
+	}
+	if got := net.SendOverheadFor(0); got != base {
+		t.Errorf("healthy proc overhead = %v, want %v", got, base)
+	}
+}
+
+// TestApplySameSeedIdenticalSchedules is the reproducibility property at
+// the network level: same (profile, seed) → identical bookings; a
+// different seed diverges.
+func TestApplySameSeedIdenticalSchedules(t *testing.T) {
+	run := func(seed int64) des.Duration {
+		net := torusNet()
+		pr, err := Preset("stormy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr.ApplyNet(net, seed)
+		return makespan(net, 1<<18)
+	}
+	a, b, c := run(1), run(1), run(2)
+	if a != b {
+		t.Fatalf("same seed diverged: %v vs %v", a, b)
+	}
+	if a == c {
+		t.Error("different seeds produced identical schedules — seed unused?")
+	}
+}
+
+// TestApplyNetNilIsNoop: a nil profile must leave the net untouched.
+func TestApplyNetNilIsNoop(t *testing.T) {
+	clean := makespan(torusNet(), 1<<18)
+	var pr *Profile
+	net := torusNet()
+	pr.ApplyNet(net, 1)
+	pr.ApplyFS(nil, 1)
+	pr.Apply(nil, nil, 1)
+	if got := makespan(net, 1<<18); got != clean {
+		t.Errorf("nil profile changed the simulation: %v vs %v", got, clean)
+	}
+}

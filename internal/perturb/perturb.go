@@ -1,0 +1,332 @@
+// Package perturb is the fault-injection and noise subsystem of the
+// simulator. A real machine's measured b_eff varies from run to run —
+// OS daemons steal CPU slices, links flap or degrade, one node is
+// slower than its peers, an I/O server hiccups mid-stream — and the
+// b_eff protocol's "maximum over repetitions" rule exists precisely to
+// characterise machines through that variability. The deterministic
+// simulation substrate, left alone, repeats every pattern with
+// identical timing; this package layers reproducible non-determinism
+// on top of it.
+//
+// A Profile is a declarative, JSON-serialisable description of faults:
+// link degradation and flapping (internal/simnet resources), per-
+// processor OS-noise detours and straggler slowdowns (the network's
+// software overheads), and I/O-server hiccups (internal/simfs). Apply
+// installs the faults on a built network and filesystem; nothing else
+// in the stack changes, and a nil or empty profile is a strict no-op,
+// so unperturbed runs stay byte-identical to the pre-perturbation
+// simulator.
+//
+// Every fault is a pure function of (seed, entity, time window) — see
+// rng.go for the seeding discipline — which makes a perturbed run
+// exactly reproducible from its seed: the same (profile, seed, machine,
+// benchmark) quadruple yields the same protocol on every invocation, at
+// any sweep parallelism.
+package perturb
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/hpcbench/beff/internal/des"
+)
+
+// LinkFault degrades the bandwidth of matching network resources. With
+// only Factor set the degradation is permanent; Start/End confine it to
+// a window of virtual time; FlapPeriod/FlapProb turn it into a flapping
+// link that is degraded during a seeded-random subset of periods.
+type LinkFault struct {
+	// Match selects resources by substring of their diagnostic name
+	// ("link" for torus links, "up"/"down" for fat-tree uplinks,
+	// "egress"/"ingress"/"bus"/"spine" for clusters, "tx"/"rx"/"port"
+	// for NICs). Empty matches every resource.
+	Match string `json:"match,omitempty"`
+
+	// Factor scales the resource's bandwidth while the fault is active;
+	// it must be in (0, 1].
+	Factor float64 `json:"factor"`
+
+	// Start and End bound the fault in virtual seconds. Zero Start
+	// means from the beginning; zero End means forever.
+	Start float64 `json:"start,omitempty"`
+	End   float64 `json:"end,omitempty"`
+
+	// FlapPeriod (seconds), when positive, divides time into windows;
+	// each window is independently degraded with probability FlapProb.
+	FlapPeriod float64 `json:"flap_period,omitempty"`
+	FlapProb   float64 `json:"flap_prob,omitempty"`
+}
+
+// NoiseFault injects periodic OS-noise detours on processors: every
+// Period seconds the CPU disappears for Detour seconds, the way daemon
+// activity does on a non-gang-scheduled system (the paper's SR 8000 vs
+// T3E contrast). A transfer that engages during a detour waits out the
+// remainder of it.
+type NoiseFault struct {
+	// Procs lists the affected physical processors; empty means all.
+	Procs []int `json:"procs,omitempty"`
+
+	// Period and Detour are in virtual seconds. Detour must not exceed
+	// Period.
+	Period float64 `json:"period"`
+	Detour float64 `json:"detour"`
+
+	// Jitter places each detour at a seeded-random offset within its
+	// period (per processor and per period) instead of at the start, so
+	// processors stall at uncorrelated times — the harmful regime,
+	// since unsynchronised noise serialises through collectives.
+	Jitter bool `json:"jitter,omitempty"`
+}
+
+// Straggler slows the software overheads (LogGP "o") of some
+// processors by a constant factor, modelling a node with a slow CPU,
+// failing DIMM, or thermal throttling.
+type Straggler struct {
+	// Procs lists the slowed physical processors explicitly. If empty,
+	// Count processors are drawn seeded-randomly from the partition.
+	Procs []int `json:"procs,omitempty"`
+	Count int   `json:"count,omitempty"`
+
+	// Slowdown multiplies the processors' send/receive overheads; it
+	// must be >= 1.
+	Slowdown float64 `json:"slowdown"`
+}
+
+// IOFault injects service stalls on I/O servers: in each Period-sized
+// window (independently chosen with probability Prob) the server spends
+// Hiccup seconds unavailable — a RAID scrub, a metadata storm, a
+// competing job's burst.
+type IOFault struct {
+	// Servers lists the affected I/O servers; empty means all.
+	Servers []int `json:"servers,omitempty"`
+
+	// Period and Hiccup are in virtual seconds.
+	Period float64 `json:"period"`
+	Hiccup float64 `json:"hiccup"`
+
+	// Prob is the probability a window hiccups; zero means 1 (every
+	// window).
+	Prob float64 `json:"prob,omitempty"`
+}
+
+// Profile is a composable set of faults. The zero value (and nil) is a
+// no-op; faults compose multiplicatively where they overlap.
+type Profile struct {
+	Name       string       `json:"name,omitempty"`
+	Links      []LinkFault  `json:"links,omitempty"`
+	Noise      []NoiseFault `json:"noise,omitempty"`
+	Stragglers []Straggler  `json:"stragglers,omitempty"`
+	IO         []IOFault    `json:"io,omitempty"`
+}
+
+// Enabled reports whether the profile injects anything at all.
+func (pr *Profile) Enabled() bool {
+	return pr != nil &&
+		(len(pr.Links) > 0 || len(pr.Noise) > 0 || len(pr.Stragglers) > 0 || len(pr.IO) > 0)
+}
+
+// Validate checks every fault's parameters.
+func (pr *Profile) Validate() error {
+	if pr == nil {
+		return nil
+	}
+	for i, f := range pr.Links {
+		if f.Factor <= 0 || f.Factor > 1 {
+			return fmt.Errorf("perturb: links[%d]: factor %v outside (0,1]", i, f.Factor)
+		}
+		if f.End != 0 && f.End < f.Start {
+			return fmt.Errorf("perturb: links[%d]: end %v before start %v", i, f.End, f.Start)
+		}
+		if f.FlapProb < 0 || f.FlapProb > 1 {
+			return fmt.Errorf("perturb: links[%d]: flap_prob %v outside [0,1]", i, f.FlapProb)
+		}
+		if f.FlapProb > 0 && f.FlapPeriod <= 0 {
+			return fmt.Errorf("perturb: links[%d]: flap_prob needs a positive flap_period", i)
+		}
+	}
+	for i, f := range pr.Noise {
+		if f.Period <= 0 {
+			return fmt.Errorf("perturb: noise[%d]: period %v must be positive", i, f.Period)
+		}
+		if f.Detour <= 0 || f.Detour > f.Period {
+			return fmt.Errorf("perturb: noise[%d]: detour %v outside (0, period]", i, f.Detour)
+		}
+	}
+	for i, f := range pr.Stragglers {
+		if f.Slowdown < 1 {
+			return fmt.Errorf("perturb: stragglers[%d]: slowdown %v must be >= 1", i, f.Slowdown)
+		}
+		if len(f.Procs) == 0 && f.Count <= 0 {
+			return fmt.Errorf("perturb: stragglers[%d]: needs procs or a positive count", i)
+		}
+	}
+	for i, f := range pr.IO {
+		if f.Period <= 0 {
+			return fmt.Errorf("perturb: io[%d]: period %v must be positive", i, f.Period)
+		}
+		if f.Hiccup <= 0 || f.Hiccup > f.Period {
+			return fmt.Errorf("perturb: io[%d]: hiccup %v outside (0, period]", i, f.Hiccup)
+		}
+		if f.Prob < 0 || f.Prob > 1 {
+			return fmt.Errorf("perturb: io[%d]: prob %v outside [0,1]", i, f.Prob)
+		}
+	}
+	return nil
+}
+
+// presets are ready-made profiles for the CLI and tests. Magnitudes are
+// chosen to visibly move b_eff on the built-in machine profiles without
+// drowning it: fault windows are commensurate with the 2.5–5 ms timing
+// loops of the benchmark.
+var presets = map[string]*Profile{
+	"os-noise": {
+		Name:  "os-noise",
+		Noise: []NoiseFault{{Period: 1e-3, Detour: 2e-4, Jitter: true}},
+	},
+	"flaky-links": {
+		Name:  "flaky-links",
+		Links: []LinkFault{{Factor: 0.25, FlapPeriod: 2e-3, FlapProb: 0.3}},
+	},
+	"straggler": {
+		Name:       "straggler",
+		Stragglers: []Straggler{{Count: 1, Slowdown: 4}},
+	},
+	"io-hiccup": {
+		Name: "io-hiccup",
+		IO:   []IOFault{{Period: 50e-3, Hiccup: 10e-3, Prob: 0.5}},
+	},
+	"stormy": {
+		Name:       "stormy",
+		Links:      []LinkFault{{Factor: 0.5, FlapPeriod: 2e-3, FlapProb: 0.2}},
+		Noise:      []NoiseFault{{Period: 1e-3, Detour: 1e-4, Jitter: true}},
+		Stragglers: []Straggler{{Count: 1, Slowdown: 2}}, IO: []IOFault{{Period: 50e-3, Hiccup: 5e-3, Prob: 0.3}},
+	},
+}
+
+// Presets lists the built-in profile names, sorted.
+func Presets() []string {
+	ks := make([]string, 0, len(presets))
+	for k := range presets {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Preset returns a copy of a built-in profile.
+func Preset(name string) (*Profile, error) {
+	p, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("perturb: unknown preset %q (have %s)", name, strings.Join(Presets(), ", "))
+	}
+	cp := *p
+	return &cp, nil
+}
+
+// Load resolves a profile from a built-in preset name or a JSON file
+// path, and validates it.
+func Load(nameOrPath string) (*Profile, error) {
+	if p, err := Preset(nameOrPath); err == nil {
+		return p, nil
+	}
+	data, err := os.ReadFile(nameOrPath)
+	if err != nil {
+		return nil, fmt.Errorf("perturb: %q is neither a preset (%s) nor a readable file: %w",
+			nameOrPath, strings.Join(Presets(), ", "), err)
+	}
+	var p Profile
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("perturb: parse %s: %w", nameOrPath, err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("perturb: %s: %w", nameOrPath, err)
+	}
+	if p.Name == "" {
+		p.Name = strings.TrimSuffix(filepath.Base(nameOrPath), filepath.Ext(nameOrPath))
+	}
+	return &p, nil
+}
+
+// ---------------------------------------------------------------------
+// Per-fault schedule evaluation. All of these are pure functions of
+// (stream key, time); see rng.go.
+
+// factorAt reports the fault's bandwidth factor at time t (1 when
+// inactive).
+func (f *LinkFault) factorAt(key uint64, t des.Time) float64 {
+	ts := t.Seconds()
+	if ts < f.Start || (f.End > 0 && ts >= f.End) {
+		return 1
+	}
+	if f.FlapPeriod > 0 {
+		w := uint64(ts / f.FlapPeriod)
+		if draw(key, w) >= f.FlapProb {
+			return 1
+		}
+	}
+	return f.Factor
+}
+
+// stallWindow reports the remaining stall at time t for a periodic
+// fault whose detour of length d recurs every p, offset within each
+// window by offFrac(window) in [0,1).
+func stallWindow(t des.Time, p, d des.Duration, offFrac func(w uint64) float64) des.Duration {
+	if p <= 0 || d <= 0 || t < 0 {
+		return 0
+	}
+	w := uint64(int64(t) / int64(p))
+	start := des.Time(int64(w) * int64(p))
+	if slack := p - d; slack > 0 && offFrac != nil {
+		start = start.Add(des.Duration(offFrac(w) * float64(slack)))
+	}
+	end := start.Add(d)
+	if t >= start && t < end {
+		return end.Sub(t)
+	}
+	return 0
+}
+
+// stallAt reports the noise detour a processor suffers at time t.
+func (f *NoiseFault) stallAt(key uint64, t des.Time) des.Duration {
+	var off func(uint64) float64
+	if f.Jitter {
+		off = func(w uint64) float64 { return draw(key, w) }
+	}
+	return stallWindow(t, des.DurationOf(f.Period), des.DurationOf(f.Detour), off)
+}
+
+// stallAt reports the extra service time an I/O server spends at time t.
+func (f *IOFault) stallAt(key uint64, t des.Time) des.Duration {
+	p := des.DurationOf(f.Period)
+	d := des.DurationOf(f.Hiccup)
+	if p <= 0 || d <= 0 || t < 0 {
+		return 0
+	}
+	prob := f.Prob
+	if prob == 0 {
+		prob = 1
+	}
+	w := uint64(int64(t) / int64(p))
+	if draw(key, 2*w) >= prob {
+		return 0
+	}
+	return stallWindow(t, p, d, func(w uint64) float64 { return draw(key, 2*w+1) })
+}
+
+// affects reports whether an entity index is in the fault's explicit
+// list (an empty list matches everything).
+func affects(list []int, id int) bool {
+	if len(list) == 0 {
+		return true
+	}
+	for _, p := range list {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,258 @@
+package perturb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/hpcbench/beff/internal/des"
+)
+
+func TestDrawRangeAndDeterminism(t *testing.T) {
+	key := streamKey(42, "link:0:tx3")
+	for idx := uint64(0); idx < 1000; idx++ {
+		v := draw(key, idx)
+		if v < 0 || v >= 1 {
+			t.Fatalf("draw(%d) = %v outside [0,1)", idx, v)
+		}
+		if v != draw(key, idx) {
+			t.Fatalf("draw(%d) not deterministic", idx)
+		}
+	}
+	// Different entities and different seeds get different streams.
+	other := streamKey(42, "link:0:tx4")
+	reseed := streamKey(43, "link:0:tx3")
+	if key == other || key == reseed {
+		t.Fatal("stream keys collide")
+	}
+	same := 0
+	for idx := uint64(0); idx < 100; idx++ {
+		if draw(key, idx) == draw(other, idx) {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 draws collide across entities", same)
+	}
+}
+
+func TestRepSeed(t *testing.T) {
+	if RepSeed(7, 0) != 7 {
+		t.Error("rep 0 must keep the base seed")
+	}
+	seen := map[int64]bool{}
+	for rep := 0; rep < 64; rep++ {
+		s := RepSeed(7, rep)
+		if seen[s] {
+			t.Fatalf("rep %d repeats seed %d", rep, s)
+		}
+		seen[s] = true
+		if s != RepSeed(7, rep) {
+			t.Fatalf("RepSeed(7, %d) not deterministic", rep)
+		}
+	}
+}
+
+func TestLinkFaultWindow(t *testing.T) {
+	f := LinkFault{Factor: 0.5, Start: 1, End: 2}
+	key := streamKey(1, "w")
+	cases := []struct {
+		t    des.Time
+		want float64
+	}{
+		{des.Time(0.5 * 1e9), 1},
+		{des.Time(1.5 * 1e9), 0.5},
+		{des.Time(2.5 * 1e9), 1},
+	}
+	for _, c := range cases {
+		if got := f.factorAt(key, c.t); got != c.want {
+			t.Errorf("factorAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestLinkFaultFlapDeterministicPerSeed(t *testing.T) {
+	f := LinkFault{Factor: 0.25, FlapPeriod: 1e-3, FlapProb: 0.5}
+	a := streamKey(1, "link:0:l")
+	b := streamKey(2, "link:0:l")
+	var degradedA, differs int
+	for w := 0; w < 200; w++ {
+		at := des.Time(int64(w)*int64(des.Millisecond) + 1)
+		fa := f.factorAt(a, at)
+		if fa != f.factorAt(a, at) {
+			t.Fatal("flap schedule not deterministic")
+		}
+		if fa == f.Factor {
+			degradedA++
+		}
+		if fa != f.factorAt(b, at) {
+			differs++
+		}
+	}
+	// With prob 0.5 over 200 windows, both extremes are astronomically
+	// unlikely; their absence means the gate actually consults the draw.
+	if degradedA == 0 || degradedA == 200 {
+		t.Errorf("flap gate degenerate: %d/200 windows degraded", degradedA)
+	}
+	if differs == 0 {
+		t.Error("two seeds produced identical flap schedules")
+	}
+}
+
+func TestStallWindowTiming(t *testing.T) {
+	p, d := 10*des.Millisecond, 2*des.Millisecond
+	// No jitter: the detour occupies [w*p, w*p+d).
+	if got := stallWindow(des.Time(0), p, d, nil); got != d {
+		t.Errorf("stall at window start = %v, want %v", got, d)
+	}
+	if got := stallWindow(des.Time(des.Millisecond), p, d, nil); got != des.Duration(des.Millisecond) {
+		t.Errorf("mid-detour stall = %v, want 1ms", got)
+	}
+	if got := stallWindow(des.Time(5*des.Millisecond), p, d, nil); got != 0 {
+		t.Errorf("stall outside detour = %v, want 0", got)
+	}
+	// Jitter pushes the detour to offFrac*(p-d) into the window.
+	off := func(w uint64) float64 { return 0.5 }
+	at := des.Time(4 * des.Millisecond) // detour occupies [4ms, 6ms)
+	if got := stallWindow(at, p, d, off); got != d {
+		t.Errorf("jittered stall = %v, want %v", got, d)
+	}
+	if got := stallWindow(des.Time(0), p, d, off); got != 0 {
+		t.Errorf("jittered window start should be clear, got %v", got)
+	}
+}
+
+func TestIOFaultProbGate(t *testing.T) {
+	always := IOFault{Period: 10e-3, Hiccup: 1e-3, Prob: 1}
+	never := IOFault{Period: 10e-3, Hiccup: 1e-3, Prob: 0} // zero means 1
+	key := streamKey(9, "io:0:server0")
+	var hit int
+	for w := 0; w < 100; w++ {
+		at := des.Time(int64(w) * int64(10*des.Millisecond))
+		// Scan the whole window for a stall — jitter moves it around.
+		var stalled bool
+		for o := des.Duration(0); o < 10*des.Millisecond; o += 100 * des.Microsecond {
+			if always.stallAt(key, at.Add(o)) > 0 {
+				stalled = true
+			}
+		}
+		if stalled {
+			hit++
+		}
+		if never.stallAt(key, at) != always.stallAt(key, at) {
+			t.Fatal("prob 0 must behave as prob 1")
+		}
+	}
+	if hit != 100 {
+		t.Errorf("prob 1 hiccuped in %d/100 windows, want all", hit)
+	}
+	// Fractional probability must gate some windows and pass others.
+	var gated int
+	for w := uint64(0); w < 200; w++ {
+		if draw(key, 2*w) < 0.5 {
+			gated++
+		}
+	}
+	if gated == 0 || gated == 200 {
+		t.Errorf("prob gate degenerate: %d/200", gated)
+	}
+}
+
+func TestStragglerProcsDistinct(t *testing.T) {
+	pr := &Profile{Stragglers: []Straggler{{Count: 5, Slowdown: 2}}}
+	ps := pr.stragglerProcs(0, 3, 8)
+	if len(ps) != 5 {
+		t.Fatalf("want 5 stragglers, got %v", ps)
+	}
+	seen := map[int]bool{}
+	for _, p := range ps {
+		if p < 0 || p >= 8 {
+			t.Fatalf("straggler %d outside partition", p)
+		}
+		if seen[p] {
+			t.Fatalf("straggler %d drawn twice", p)
+		}
+		seen[p] = true
+	}
+	// Explicit lists pass through (clamped to the partition).
+	pr2 := &Profile{Stragglers: []Straggler{{Procs: []int{1, 99}, Slowdown: 2}}}
+	if got := pr2.stragglerProcs(0, 1, 8); len(got) != 1 || got[0] != 1 {
+		t.Errorf("explicit procs = %v, want [1]", got)
+	}
+}
+
+func TestValidateRejectsBadFaults(t *testing.T) {
+	bad := []*Profile{
+		{Links: []LinkFault{{Factor: 0}}},
+		{Links: []LinkFault{{Factor: 1.5}}},
+		{Links: []LinkFault{{Factor: 0.5, Start: 2, End: 1}}},
+		{Links: []LinkFault{{Factor: 0.5, FlapProb: 0.5}}}, // no period
+		{Noise: []NoiseFault{{Period: 0, Detour: 1e-3}}},
+		{Noise: []NoiseFault{{Period: 1e-3, Detour: 2e-3}}}, // detour > period
+		{Stragglers: []Straggler{{Count: 1, Slowdown: 0.5}}},
+		{Stragglers: []Straggler{{Slowdown: 2}}}, // no procs, no count
+		{IO: []IOFault{{Period: 1e-3, Hiccup: 2e-3}}},
+		{IO: []IOFault{{Period: 1e-3, Hiccup: 1e-4, Prob: 2}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("profile %d should fail validation: %+v", i, p)
+		}
+	}
+	var nilProfile *Profile
+	if err := nilProfile.Validate(); err != nil {
+		t.Errorf("nil profile must validate: %v", err)
+	}
+	if nilProfile.Enabled() {
+		t.Error("nil profile must not be enabled")
+	}
+}
+
+func TestPresetsValidateAndCopy(t *testing.T) {
+	for _, name := range Presets() {
+		p, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+		if !p.Enabled() {
+			t.Errorf("preset %s is empty", name)
+		}
+	}
+	if _, err := Preset("no-such"); err == nil {
+		t.Error("unknown preset must error")
+	}
+}
+
+func TestLoadFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "myfaults.json")
+	body := `{"links": [{"match": "tx", "factor": 0.5}], "noise": [{"period": 1e-3, "detour": 1e-4}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "myfaults" {
+		t.Errorf("name should default to the file base, got %q", p.Name)
+	}
+	if len(p.Links) != 1 || p.Links[0].Factor != 0.5 || len(p.Noise) != 1 {
+		t.Errorf("roundtrip lost faults: %+v", p)
+	}
+	// A preset name resolves before any file lookup.
+	if p, err := Load("os-noise"); err != nil || p.Name != "os-noise" {
+		t.Errorf("preset load failed: %v %v", p, err)
+	}
+	// Invalid content is rejected with the validation error.
+	badPath := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(badPath, []byte(`{"links":[{"factor": 7}]}`), 0o644)
+	if _, err := Load(badPath); err == nil {
+		t.Error("invalid profile file must fail Load")
+	}
+	if _, err := Load("neither-preset-nor-file"); err == nil {
+		t.Error("unresolvable argument must fail Load")
+	}
+}

@@ -1,0 +1,49 @@
+package perturb
+
+// Seeding discipline: every random decision in this package is a pure
+// function of (seed, entity, event index). There is no stream state to
+// advance, so the schedule a fault produces does not depend on the
+// order in which the simulation happens to ask about it — two runs that
+// evaluate the same windows get the same answers even if they evaluate
+// them in a different order, and a fault on link A can never shift the
+// randomness seen by link B. That is what makes a perturbed run exactly
+// reproducible from its seed.
+
+// mix is the splitmix64 finalizer: a cheap bijective scrambler whose
+// output passes standard statistical tests.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// streamKey folds a seed and an entity name (a resource name, a
+// processor label, a fault index) into the key of that entity's
+// decision stream.
+func streamKey(seed int64, entity string) uint64 {
+	h := uint64(14695981039346656037) // FNV-1a offset basis
+	for i := 0; i < len(entity); i++ {
+		h ^= uint64(entity[i])
+		h *= 1099511628211
+	}
+	return mix(h ^ mix(uint64(seed)))
+}
+
+// draw returns the deterministic uniform [0,1) variate for event index
+// idx of the stream identified by key.
+func draw(key, idx uint64) float64 {
+	return float64(mix(key^mix(idx))>>11) / float64(uint64(1)<<53)
+}
+
+// RepSeed derives the perturbation seed of repetition rep from a base
+// seed, so a repetition sweep explores independent noise schedules while
+// staying reproducible from (base, rep) alone. Repetition 0 keeps the
+// base seed itself: a single-rep perturbed run and the first cell of a
+// sweep are the same simulation.
+func RepSeed(base int64, rep int) int64 {
+	if rep == 0 {
+		return base
+	}
+	return int64(mix(uint64(base) ^ mix(uint64(rep)*0x9e3779b97f4a7c15)))
+}

@@ -6,6 +6,7 @@ import (
 	"github.com/hpcbench/beff/internal/beffio"
 	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/perturb"
 )
 
 // Prebuilt cells for the two benchmarks, so every command (and future
@@ -23,6 +24,13 @@ type beffFingerprint struct {
 	Config  *machine.ConfigFile `json:",omitempty"`
 	Procs   int
 	Options core.Options
+
+	// Perturb and PerturbSeed identify the fault-injection schedule of
+	// a perturbed cell. They are omitted when empty, so unperturbed
+	// fingerprints — and their cached entries — are unchanged from
+	// before perturbation existed.
+	Perturb     *perturb.Profile `json:",omitempty"`
+	PerturbSeed int64            `json:",omitempty"`
 }
 
 // beffioFingerprint identifies a b_eff_io cell likewise.
@@ -32,6 +40,9 @@ type beffioFingerprint struct {
 	Config  *machine.ConfigFile `json:",omitempty"`
 	Procs   int
 	Options beffio.Options
+
+	Perturb     *perturb.Profile `json:",omitempty"`
+	PerturbSeed int64            `json:",omitempty"`
 }
 
 // BeffCell measures b_eff on a registered machine profile. The

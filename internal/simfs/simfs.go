@@ -148,6 +148,11 @@ type FS struct {
 	totalWritten int64
 	totalRead    int64
 	writeClock   int64 // total bytes ever written, for cache eviction
+
+	// serverStall, when non-nil, reports extra service time a server
+	// spends unavailable around a disk operation starting at the given
+	// time — the I/O-hiccup hook installed by internal/perturb.
+	serverStall func(server int, at des.Time) des.Duration
 }
 
 type server struct {
@@ -211,6 +216,14 @@ func (fs *FS) Config() Config { return fs.cfg }
 // profile.
 func (fs *FS) SetOnServerOp(f func(server int, write bool, bytes int64, start, end des.Time)) {
 	fs.cfg.OnServerOp = f
+}
+
+// SetServerPerturb installs (or removes, with nil) the per-server
+// hiccup hook: fn reports how much extra service time the server
+// spends on a disk operation starting at the given time. Must be
+// called before the simulation starts.
+func (fs *FS) SetServerPerturb(fn func(server int, at des.Time) des.Duration) {
+	fs.serverStall = fn
 }
 
 // File is an open simulated file.
@@ -503,6 +516,9 @@ func (fs *FS) serverWrite(f *File, pc piece, arrival des.Time) des.Time {
 	if arrival > diskStart {
 		diskStart = arrival
 	}
+	if fs.serverStall != nil {
+		work += fs.serverStall(s.id, diskStart)
+	}
 	s.diskFree = diskStart.Add(work)
 	s.busy += work
 	s.lastFile = f
@@ -548,6 +564,9 @@ func (fs *FS) serverRead(f *File, pc piece, arrival des.Time) des.Time {
 	start := s.diskFree
 	if arrival > start {
 		start = arrival
+	}
+	if fs.serverStall != nil {
+		work += fs.serverStall(s.id, start)
 	}
 	s.diskFree = start.Add(work)
 	s.busy += work

@@ -65,6 +65,14 @@ type Net struct {
 
 	bytesMoved int64
 	messages   int64
+
+	// stall and slowdown are the per-processor perturbation hooks
+	// installed by internal/perturb (nil in unperturbed runs): stall
+	// reports how long a processor's CPU is unavailable at a given
+	// time (OS-noise detours), slowdown a >= 1 multiplier on its
+	// software overheads (straggler nodes).
+	stall    func(proc int, at des.Time) des.Duration
+	slowdown func(proc int) float64
 }
 
 // New builds the per-processor resources around the fabric.
@@ -90,6 +98,45 @@ func New(cfg Config) *Net {
 // NumProcs reports the number of physical processors.
 func (n *Net) NumProcs() int { return n.cfg.Fabric.NumProcs() }
 
+// SetProcPerturb installs the per-processor perturbation hooks; either
+// may be nil. Must be called before the simulation starts.
+func (n *Net) SetProcPerturb(stall func(proc int, at des.Time) des.Duration, slowdown func(proc int) float64) {
+	n.stall = stall
+	n.slowdown = slowdown
+}
+
+// stallAt reports the remaining CPU detour of a processor at time at.
+func (n *Net) stallAt(proc int, at des.Time) des.Duration {
+	if n.stall == nil {
+		return 0
+	}
+	return n.stall(proc, at)
+}
+
+// scaleOverhead applies a processor's straggler slowdown to a software
+// overhead.
+func (n *Net) scaleOverhead(d des.Duration, proc int) des.Duration {
+	if n.slowdown == nil || d <= 0 {
+		return d
+	}
+	if f := n.slowdown(proc); f > 1 {
+		return des.Duration(float64(d)*f + 0.5)
+	}
+	return d
+}
+
+// SendOverheadFor reports the per-message send overhead charged on a
+// processor, straggler slowdown included. The MPI runtime uses it for
+// the sender's CPU submission cost so slow nodes are slow end to end.
+func (n *Net) SendOverheadFor(proc int) des.Duration {
+	return n.scaleOverhead(n.cfg.SendOverhead, proc)
+}
+
+// RecvOverheadFor is SendOverheadFor for the receive side.
+func (n *Net) RecvOverheadFor(proc int) des.Duration {
+	return n.scaleOverhead(n.cfg.RecvOverhead, proc)
+}
+
 // Transfer books a message of size bytes from processor src to dst,
 // starting no earlier than earliest. It returns when the sender's CPU
 // is free again (overhead + injection) and when the message is available
@@ -100,8 +147,10 @@ func (n *Net) Transfer(src, dst int, size int64, earliest des.Time) (senderFree,
 		panic(fmt.Sprintf("simnet: negative transfer size %d", size))
 	}
 	if src == dst {
-		// Self-send: a memory copy, no network involvement.
-		end := earliest.Add(n.cfg.SendOverhead).Add(n.CopyTime(size)).Add(n.cfg.RecvOverhead)
+		// Self-send: a memory copy, no network involvement (but the
+		// processor's noise detours and straggler overheads still bite).
+		st := earliest.Add(n.stallAt(src, earliest))
+		end := st.Add(n.SendOverheadFor(src)).Add(n.CopyTime(size)).Add(n.RecvOverheadFor(dst))
 		n.bytesMoved += size
 		n.messages++
 		if n.cfg.OnTransfer != nil {
@@ -121,10 +170,13 @@ func (n *Net) Transfer(src, dst int, size int64, earliest des.Time) (senderFree,
 	}
 	segs = append(segs, Seg(n.rx[dst]))
 
-	injectAt := earliest.Add(n.cfg.SendOverhead)
+	// An OS-noise detour on the sending CPU delays injection; one on
+	// the receiving CPU delays when the payload is usable.
+	injectAt := earliest.Add(n.stallAt(src, earliest)).Add(n.SendOverheadFor(src))
 	start, end := reserve(segs, size, injectAt)
 	senderFree = end // sender's NIC engagement models back-pressure
-	arrival = end.Add(lat).Add(n.cfg.RecvOverhead)
+	arrival = end.Add(lat).Add(n.RecvOverheadFor(dst))
+	arrival = arrival.Add(n.stallAt(dst, arrival))
 	n.bytesMoved += size
 	n.messages++
 	if n.cfg.OnTransfer != nil {
@@ -172,6 +224,21 @@ type ResourceLister interface {
 	Resources() []*Resource
 }
 
+// Resources returns every resource the Net owns or routes over: the
+// per-processor NICs and ports, plus — if the fabric implements
+// ResourceLister — its links. internal/perturb iterates this to attach
+// link faults; diagnostics use it for utilisation reports.
+func (n *Net) Resources() []*Resource {
+	var rs []*Resource
+	rs = append(rs, n.tx...)
+	rs = append(rs, n.rx...)
+	rs = append(rs, n.port...)
+	if fl, ok := n.cfg.Fabric.(ResourceLister); ok {
+		rs = append(rs, fl.Resources()...)
+	}
+	return rs
+}
+
 // ResourceStat is one row of a utilisation report.
 type ResourceStat struct {
 	Name         string
@@ -185,13 +252,7 @@ type ResourceStat struct {
 // with utilisation computed against the given horizon. topN <= 0 means
 // all.
 func (n *Net) HotResources(horizon des.Time, topN int) []ResourceStat {
-	var rs []*Resource
-	rs = append(rs, n.tx...)
-	rs = append(rs, n.rx...)
-	rs = append(rs, n.port...)
-	if fl, ok := n.cfg.Fabric.(ResourceLister); ok {
-		rs = append(rs, fl.Resources()...)
-	}
+	rs := n.Resources()
 	stats := make([]ResourceStat, 0, len(rs))
 	for _, r := range rs {
 		if r == nil || r.Reservations() == 0 {

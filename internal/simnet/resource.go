@@ -38,6 +38,13 @@ type Resource struct {
 
 	busy  des.Duration // total occupied time, for utilisation reports
 	count int64        // number of reservations
+
+	// scale, when non-nil, reports the multiplicative bandwidth factor
+	// in effect for transfers engaging at a given time — the hook
+	// internal/perturb uses for link degradation and flapping. The
+	// factor is sampled once per reservation, at the requested engage
+	// time.
+	scale func(at des.Time) float64
 }
 
 type slot struct{ s, e des.Time }
@@ -71,6 +78,30 @@ func (r *Resource) occupancy(bytes float64) des.Duration {
 		return 0
 	}
 	return des.DurationOf(bytes / r.bw)
+}
+
+// SetScale installs a time-varying bandwidth factor: a transfer that
+// engages the resource at time t runs at bw*fn(t) bytes/second.
+// Factors above 1 speed the resource up; factors at or below zero are
+// clamped to a tiny positive value (a dead link is merely very slow —
+// a true outage would deadlock the simulation). nil removes the hook.
+// Must not be changed while a simulation is running.
+func (r *Resource) SetScale(fn func(at des.Time) float64) { r.scale = fn }
+
+// occupancyAt is occupancy under the scale factor in effect at time at.
+func (r *Resource) occupancyAt(bytes float64, at des.Time) des.Duration {
+	occ := r.occupancy(bytes)
+	if occ <= 0 || r.scale == nil {
+		return occ
+	}
+	f := r.scale(at)
+	if f == 1 {
+		return occ
+	}
+	if f < 1e-6 {
+		f = 1e-6
+	}
+	return des.Duration(float64(occ)/f + 0.5)
 }
 
 // NextFree reports the earliest time after all current bookings (the
@@ -188,7 +219,7 @@ func reserve(segs []Segment, size int64, earliest des.Time) (start, end des.Time
 	start = earliest
 	end = earliest
 	for i, s := range segs {
-		occ := s.R.occupancy(float64(size) * s.Factor)
+		occ := s.R.occupancyAt(float64(size)*s.Factor, cur)
 		st := s.R.reserveAt(cur, occ)
 		fin := st.Add(occ)
 		if i == 0 {

@@ -1,0 +1,109 @@
+package simnet
+
+import (
+	"testing"
+
+	"github.com/hpcbench/beff/internal/des"
+)
+
+// TestResourceScaleStretchesOccupancy pins the SetScale contract: the
+// factor divides effective bandwidth at the engage time, and the factor
+// is clamped so a dead link is very slow rather than infinitely slow.
+func TestResourceScaleStretchesOccupancy(t *testing.T) {
+	r := NewResource("l", 100e6)
+	base := r.occupancyAt(1e6, 0)
+	if base != r.occupancy(1e6) {
+		t.Fatal("no scale hook must mean plain occupancy")
+	}
+
+	r.SetScale(func(at des.Time) float64 { return 0.5 })
+	if got := r.occupancyAt(1e6, 0); got < 2*base-1 || got > 2*base+1 {
+		t.Errorf("half bandwidth: occupancy %v, want ~%v", got, 2*base)
+	}
+
+	// Time-varying factor is sampled at the engage time.
+	r.SetScale(func(at des.Time) float64 {
+		if at < des.Time(des.Second) {
+			return 1
+		}
+		return 0.25
+	})
+	if got := r.occupancyAt(1e6, 0); got != base {
+		t.Errorf("before the fault: occupancy %v, want %v", got, base)
+	}
+	if got := r.occupancyAt(1e6, des.Time(2*des.Second)); got < 4*base-1 {
+		t.Errorf("during the fault: occupancy %v, want ~%v", got, 4*base)
+	}
+
+	// Factors <= 0 clamp instead of dividing by zero.
+	r.SetScale(func(at des.Time) float64 { return 0 })
+	if got := r.occupancyAt(1e6, 0); got <= 4*base {
+		t.Errorf("dead link should be very slow, got %v", got)
+	}
+
+	// Removing the hook restores the baseline.
+	r.SetScale(nil)
+	if got := r.occupancyAt(1e6, 0); got != base {
+		t.Errorf("after removal: occupancy %v, want %v", got, base)
+	}
+
+	// Infinite resources stay free whatever the factor says.
+	free := NewResource("free", 0)
+	free.SetScale(func(at des.Time) float64 { return 0.01 })
+	if got := free.occupancyAt(1e6, 0); got != 0 {
+		t.Errorf("infinite resource got occupancy %v", got)
+	}
+}
+
+// TestNetProcPerturbHooks pins the Net-level hook plumbing used by
+// internal/perturb: stalls delay transfers, slowdowns scale overheads,
+// and nil hooks are exact no-ops.
+func TestNetProcPerturbHooks(t *testing.T) {
+	build := func() *Net {
+		return New(Config{
+			Fabric:       NewCrossbar(4, 0, des.Microsecond),
+			TxBandwidth:  100e6,
+			RxBandwidth:  100e6,
+			SendOverhead: 5 * des.Microsecond,
+			RecvOverhead: 5 * des.Microsecond,
+		})
+	}
+	clean := build()
+	_, cleanArr := clean.Transfer(0, 1, 1024, 0)
+
+	stalled := build()
+	stalled.SetProcPerturb(func(proc int, at des.Time) des.Duration {
+		if proc == 0 && at < des.Time(des.Millisecond) {
+			return des.Millisecond
+		}
+		return 0
+	}, nil)
+	_, stallArr := stalled.Transfer(0, 1, 1024, 0)
+	if stallArr.Sub(cleanArr) < des.Millisecond {
+		t.Errorf("sender stall ignored: clean %v, stalled %v", cleanArr, stallArr)
+	}
+
+	slow := build()
+	slow.SetProcPerturb(nil, func(proc int) float64 {
+		if proc == 0 {
+			return 3
+		}
+		return 1
+	})
+	if got, want := slow.SendOverheadFor(0), 15*des.Microsecond; got != want {
+		t.Errorf("slowdown: SendOverheadFor(0) = %v, want %v", got, want)
+	}
+	if got := slow.RecvOverheadFor(1); got != 5*des.Microsecond {
+		t.Errorf("healthy proc overhead changed: %v", got)
+	}
+	_, slowArr := slow.Transfer(0, 1, 1024, 0)
+	if slowArr <= cleanArr {
+		t.Errorf("straggler sender should arrive later: %v vs %v", slowArr, cleanArr)
+	}
+
+	noop := build()
+	noop.SetProcPerturb(nil, nil)
+	if _, arr := noop.Transfer(0, 1, 1024, 0); arr != cleanArr {
+		t.Errorf("nil hooks must be a no-op: %v vs %v", arr, cleanArr)
+	}
+}

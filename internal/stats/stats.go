@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // LogAvg returns the logarithmic (geometric) average of the values:
@@ -84,6 +85,65 @@ func Min(xs ...float64) float64 {
 		}
 	}
 	return m
+}
+
+// Median returns the middle value (mean of the two middle values for
+// even counts), 0 for empty input. The input is not modified.
+func Median(xs ...float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// StdDev returns the population standard deviation, 0 for fewer than
+// two values.
+func StdDev(xs ...float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs...)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Robust summarises repeated measurements of one quantity — the
+// repetition protocol b_eff prescribes (Sec. 3 of the paper: report the
+// maximum over repetitions) extended with the spread statistics a
+// robustness characterisation needs.
+type Robust struct {
+	N                      int
+	Min, Median, Mean, Max float64
+	StdDev                 float64
+	// CV is the coefficient of variation StdDev/Mean (0 when Mean is
+	// 0): the scale-free run-to-run variability of the measurement.
+	CV float64
+}
+
+// Describe computes the Robust summary of the values.
+func Describe(xs ...float64) Robust {
+	r := Robust{
+		N:      len(xs),
+		Min:    Min(xs...),
+		Median: Median(xs...),
+		Mean:   Mean(xs...),
+		Max:    Max(xs...),
+		StdDev: StdDev(xs...),
+	}
+	if r.Mean != 0 {
+		r.CV = r.StdDev / r.Mean
+	}
+	return r
 }
 
 // MBps formats a bytes-per-second bandwidth as MByte/s, the unit every

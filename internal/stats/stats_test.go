@@ -88,6 +88,49 @@ func TestMinMax(t *testing.T) {
 	}
 }
 
+func TestMedian(t *testing.T) {
+	if got := Median(9, 1, 3); got != 3 {
+		t.Errorf("odd Median = %v, want 3", got)
+	}
+	if got := Median(4, 1, 3, 2); got != 2.5 {
+		t.Errorf("even Median = %v, want 2.5", got)
+	}
+	if got := Median(); got != 0 {
+		t.Errorf("empty Median = %v", got)
+	}
+	// The input must not be reordered.
+	xs := []float64{3, 1, 2}
+	Median(xs...)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev(2, 4, 4, 4, 5, 5, 7, 9); !approx(got, 2, 1e-9) {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if StdDev(5) != 0 || StdDev() != 0 {
+		t.Error("fewer than two values must give 0")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	r := Describe(10, 20, 30)
+	if r.N != 3 || r.Min != 10 || r.Median != 20 || r.Max != 30 || r.Mean != 20 {
+		t.Errorf("Describe = %+v", r)
+	}
+	if !approx(r.CV, r.StdDev/20, 1e-12) || r.CV <= 0 {
+		t.Errorf("CV = %v, want StdDev/Mean", r.CV)
+	}
+	if z := Describe(0, 0); z.CV != 0 {
+		t.Errorf("zero-mean CV = %v, want 0", z.CV)
+	}
+	if e := Describe(); e.N != 0 || e.CV != 0 {
+		t.Errorf("empty Describe = %+v", e)
+	}
+}
+
 func TestMBpsFormat(t *testing.T) {
 	if got := MBps(19919e6); got != "19919 MB/s" {
 		t.Errorf("MBps = %q", got)
