@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"github.com/hpcbench/beff/internal/check"
 	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/des"
 	"github.com/hpcbench/beff/internal/machine"
@@ -39,9 +40,23 @@ func main() {
 		skampi     = flag.String("skampi", "", "write SKaMPI-comparison-page records to this file")
 		tracePath  = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of every message to this file")
 		hotspots   = flag.Int("hotspots", 0, "print the N busiest network resources after the run")
+		checkRun   = flag.Bool("check", false, "verify runtime invariants (byte conservation, causality, reductions) and fail on violation")
 		list       = flag.Bool("list", false, "list machine profiles and exit")
 	)
 	flag.Parse()
+
+	switch {
+	case *procs < 1:
+		usageErr("-procs must be >= 1, got %d", *procs)
+	case *maxLoop < 1:
+		usageErr("-maxloop must be >= 1, got %d", *maxLoop)
+	case *reps < 1:
+		usageErr("-reps must be >= 1, got %d", *reps)
+	case *seed < 1:
+		usageErr("-seed must be >= 1, got %d", *seed)
+	case *hotspots < 0:
+		usageErr("-hotspots must not be negative, got %d", *hotspots)
+	}
 
 	if *list {
 		for _, p := range machine.All() {
@@ -68,6 +83,15 @@ func main() {
 		w.Net.SetOnTransfer(col.OnTransfer)
 	}
 
+	// The checker chains onto whatever hooks are already installed
+	// (trace, perturbation), so it must come after them.
+	var chk *check.Checker
+	if *checkRun {
+		chk = check.New()
+		chk.WatchWorld(&w)
+		chk.WatchNet(w.Net)
+	}
+
 	res, err := core.Run(w, core.Options{
 		MemoryPerProc: p.MemoryPerProc,
 		Seed:          *seed,
@@ -75,6 +99,12 @@ func main() {
 		Reps:          *reps,
 	})
 	fatal(err)
+
+	if chk != nil {
+		chk.VerifyBeff(res)
+		fatal(chk.Finish())
+		fmt.Println("check: all invariants held")
+	}
 
 	fmt.Print(report.Table1([]report.Table1Row{report.FromBeff(p.Name, res)}))
 	fmt.Printf("\nbalance factor b_eff/R_max = %.4f bytes/flop (R_max %.0f GF)\n",
@@ -125,4 +155,10 @@ func fatal(err error) {
 		fmt.Fprintln(os.Stderr, "beff:", err)
 		os.Exit(1)
 	}
+}
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "beff: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
 }

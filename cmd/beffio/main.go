@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/check"
 	"github.com/hpcbench/beff/internal/des"
 	"github.com/hpcbench/beff/internal/machine"
 	"github.com/hpcbench/beff/internal/mpi"
@@ -47,8 +48,24 @@ func main() {
 		perturbArg = flag.String("perturb", "", "fault-injection profile: preset name ("+strings.Join(perturb.Presets(), ", ")+") or JSON file; empty disables perturbation")
 		seed       = flag.Int64("seed", 1, "seed for the -perturb fault schedule")
 		reps       = flag.Int("reps", 1, "repetitions of the whole benchmark; with -perturb each uses an independently derived seed and the maximum is reported")
+		checkRun   = flag.Bool("check", false, "verify runtime invariants (byte conservation, causality, reductions) and fail on violation")
 	)
 	flag.Parse()
+
+	switch {
+	case *procs < 1:
+		usageErr("-procs must be >= 1, got %d", *procs)
+	case *tSecs <= 0:
+		usageErr("-T must be positive, got %v", *tSecs)
+	case *bgLoad < 0 || *bgLoad >= 1:
+		usageErr("-load must be in [0,1), got %v", *bgLoad)
+	case *maxReps < 1:
+		usageErr("-maxreps must be >= 1, got %d", *maxReps)
+	case *reps < 1:
+		usageErr("-reps must be >= 1, got %d", *reps)
+	case *seed < 1:
+		usageErr("-seed must be >= 1, got %d", *seed)
+	}
 
 	var p *machine.Profile
 	var err error
@@ -101,11 +118,44 @@ func main() {
 		}
 	}
 
+	// runOne executes the benchmark once, with the full invariant watch
+	// set installed when -check is on (chained after the perturbation,
+	// which is applied by setupWith inside the world builder).
+	runOne := func(w mpi.WorldConfig, fs *simfs.FS) (*beffio.Result, error) {
+		if !*checkRun {
+			return beffio.Run(w, fs, opt)
+		}
+		c := check.New()
+		c.WatchWorld(&w)
+		c.WatchNet(w.Net)
+		c.WatchFS(fs)
+		res, err := beffio.Run(w, fs, opt)
+		if err != nil {
+			return nil, err
+		}
+		c.VerifyBeffIO(res)
+		if err := c.Finish(); err != nil {
+			return nil, err
+		}
+		return res, nil
+	}
+
 	if *sweep != "" {
 		sizes, err := parseSizes(*sweep)
 		fatal(err)
 		results, err := beffio.Sweep(setupWith(*seed), sizes, opt)
 		fatal(err)
+		if *checkRun {
+			// The sweep builds its worlds internally, so the runtime
+			// watches cannot chain in; the result-level invariants still
+			// hold for every partition.
+			c := check.New()
+			for _, r := range results {
+				c.VerifyBeffIO(r)
+			}
+			fatal(c.Finish())
+			fmt.Println("check: all result invariants held")
+		}
 		series := report.Series{Name: p.Name, Points: map[int]float64{}}
 		for _, r := range results {
 			series.Points[r.Procs] = r.BeffIO
@@ -127,7 +177,7 @@ func main() {
 			rs := perturb.RepSeed(*seed, r)
 			w, fs, err := setupWith(rs)(*procs)
 			fatal(err)
-			res, err := beffio.Run(w, fs, opt)
+			res, err := runOne(w, fs)
 			fatal(err)
 			values = append(values, res.BeffIO)
 			fmt.Printf("rep %2d (seed %20d): b_eff_io = %9.1f MB/s\n", r, rs, res.BeffIO/1e6)
@@ -142,8 +192,11 @@ func main() {
 
 	w, fs, err := setupWith(*seed)(*procs)
 	fatal(err)
-	res, err := beffio.Run(w, fs, opt)
+	res, err := runOne(w, fs)
 	fatal(err)
+	if *checkRun {
+		fmt.Println("check: all invariants held")
+	}
 
 	fmt.Printf("machine: %s   filesystem: %s\n", p.Name, fs.Config().Name)
 	fmt.Printf("b_eff_io = %.1f MB/s (%d processes, T = %v)\n", res.BeffIO/1e6, res.Procs, res.T)
@@ -189,4 +242,10 @@ func fatal(err error) {
 		fmt.Fprintln(os.Stderr, "beffio:", err)
 		os.Exit(1)
 	}
+}
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "beffio: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
 }

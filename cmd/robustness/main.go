@@ -28,6 +28,7 @@ import (
 	"strconv"
 
 	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/check"
 	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/des"
 	"github.com/hpcbench/beff/internal/machine"
@@ -48,6 +49,7 @@ func main() {
 		tSecs       = flag.Float64("T", 60, "b_eff_io: scheduled time per partition in virtual seconds")
 		baseline    = flag.Bool("baseline", true, "also run the unperturbed cell for comparison")
 		csvPath     = flag.String("csv", "", "write per-repetition values as CSV to this file")
+		checkRun    = flag.Bool("check", false, "verify result invariants (reductions, statistics) and fail on violation")
 		listPresets = flag.Bool("list-presets", false, "list built-in perturbation presets and exit")
 	)
 	rf := &runner.Flags{}
@@ -62,8 +64,19 @@ func main() {
 		}
 		return
 	}
-	if *reps < 1 {
-		fatal(fmt.Errorf("need at least one repetition, got %d", *reps))
+	switch {
+	case *procs < 1:
+		usageErr("-procs must be >= 1, got %d", *procs)
+	case *reps < 1:
+		usageErr("-reps must be >= 1, got %d", *reps)
+	case *seed < 1:
+		usageErr("-seed must be >= 1, got %d", *seed)
+	case *maxLoop < 1:
+		usageErr("-maxloop must be >= 1, got %d", *maxLoop)
+	case *innerReps < 1:
+		usageErr("-inner-reps must be >= 1, got %d", *innerReps)
+	case *tSecs <= 0:
+		usageErr("-T must be positive, got %v", *tSecs)
 	}
 
 	prof, err := perturb.Load(*perturbArg)
@@ -74,6 +87,10 @@ func main() {
 	var bench string
 	var values []float64
 	var base float64
+	var chk *check.Checker
+	if *checkRun {
+		chk = check.New()
+	}
 	if *ioBench {
 		bench = "b_eff_io"
 		opt := beffio.Options{T: des.DurationOf(*tSecs), MPart: p.MPart()}
@@ -86,6 +103,11 @@ func main() {
 		}
 		results := runner.Sweep(cells, rf.Options("robustness"))
 		fatal(runner.Err(results))
+		for _, r := range results {
+			if chk != nil {
+				chk.VerifyBeffIO(r.Value)
+			}
+		}
 		for r := 0; r < *reps; r++ {
 			values = append(values, results[r].Value.BeffIO)
 		}
@@ -104,6 +126,11 @@ func main() {
 		}
 		results := runner.Sweep(cells, rf.Options("robustness"))
 		fatal(runner.Err(results))
+		for _, r := range results {
+			if chk != nil {
+				chk.VerifyBeff(r.Value)
+			}
+		}
 		for r := 0; r < *reps; r++ {
 			values = append(values, results[r].Value.Beff)
 		}
@@ -113,6 +140,11 @@ func main() {
 	}
 
 	rob := runner.SummarizeReps(values)
+	if chk != nil {
+		chk.VerifyRobustness(rob)
+		fatal(chk.Finish())
+		fmt.Println("check: all result invariants held")
+	}
 	fmt.Printf("robustness of %s on %s @ %d procs — profile %q, base seed %d, %d repetitions\n",
 		bench, p.Name, *procs, prof.Name, *seed, *reps)
 	fmt.Printf("%4s  %20s  %12s\n", "rep", "seed", bench+" MB/s")
@@ -150,4 +182,10 @@ func fatal(err error) {
 		fmt.Fprintln(os.Stderr, "robustness:", err)
 		os.Exit(1)
 	}
+}
+
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "robustness: %s\n", fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
 }

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke tests for the built binary: exit codes, usage text, and one
+// fast checked run (uncached, so nothing is written outside the test
+// environment).
+
+var bin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "robustness-smoke")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bin = filepath.Join(dir, "robustness")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "build: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("running %v: %v", args, err)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func TestUnknownFlagFailsWithUsage(t *testing.T) {
+	out, code := run(t, "-no-such-flag")
+	if code == 0 {
+		t.Fatal("unknown flag accepted")
+	}
+	if !strings.Contains(out, "Usage") {
+		t.Fatalf("no usage text:\n%s", out)
+	}
+}
+
+func TestBadFlagValuesRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-procs", "0"},
+		{"-reps", "0"},
+		{"-reps", "-3"},
+		{"-seed", "0"},
+		{"-seed", "-1"},
+		{"-maxloop", "0"},
+		{"-inner-reps", "0"},
+		{"-T", "0"},
+	} {
+		out, code := run(t, args...)
+		if code == 0 {
+			t.Errorf("%v accepted", args)
+		}
+		if !strings.Contains(out, "Usage") {
+			t.Errorf("%v: no usage text:\n%s", args, out)
+		}
+	}
+}
+
+func TestUnknownPerturbProfileFails(t *testing.T) {
+	out, code := run(t, "-perturb", "no-such-profile", "-no-cache")
+	if code == 0 {
+		t.Fatal("unknown perturbation profile accepted")
+	}
+	if !strings.Contains(out, "no-such-profile") {
+		t.Fatalf("error does not name the profile:\n%s", out)
+	}
+}
+
+func TestListPresetsSucceeds(t *testing.T) {
+	out, code := run(t, "-list-presets")
+	if code != 0 {
+		t.Fatalf("-list-presets failed (%d):\n%s", code, out)
+	}
+	for _, name := range []string{"stormy", "os-noise", "straggler"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list-presets missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestCheckedRunSucceeds(t *testing.T) {
+	out, code := run(t, "-machine", "cluster", "-procs", "2", "-reps", "2",
+		"-maxloop", "1", "-inner-reps", "1", "-check", "-no-cache")
+	if code != 0 {
+		t.Fatalf("checked run failed (%d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "check: all result invariants held") {
+		t.Fatalf("no check confirmation:\n%s", out)
+	}
+	if !strings.Contains(out, "max over repetitions") {
+		t.Fatalf("no summary line:\n%s", out)
+	}
+}

@@ -1,0 +1,146 @@
+// Package check is the verification subsystem of the simulator. It
+// provides two kinds of machinery:
+//
+//   - Runtime invariant watches (WatchNet, WatchFS, WatchWorld) that
+//     install into the simulation stack through the same hook points
+//     internal/perturb and internal/trace use, chaining any observer
+//     already present. They maintain conservation ledgers — every byte
+//     an MPI rank sends must be matched to a receive exactly once,
+//     every byte the filesystem accepts must hit a server disk exactly
+//     once — and assert event causality and virtual-clock monotonicity
+//     while the simulation runs.
+//
+//   - Post-hoc result audits (VerifyBeff, VerifyBeffIO,
+//     VerifyRobustness, VerifyPatternTable) that recompute every
+//     reduction a benchmark result claims (max over methods, mean over
+//     sizes, the nested logarithmic averages, the weighted pattern-type
+//     and access-method means, the ΣU = 64 scheduling quota) and check
+//     all reported bandwidths for finiteness and sign.
+//
+// A Checker collects Violations rather than failing fast, so a single
+// run reports everything that is wrong with it. The CLIs enable
+// checking under -check; the test suite keeps it always on.
+package check
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+)
+
+// Violation is one observed breach of a simulation invariant.
+type Violation struct {
+	// Invariant names the broken rule, e.g. "mpi/byte-conservation".
+	Invariant string
+	// Detail is the human-readable evidence.
+	Detail string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// maxViolations bounds recording: a systemic breach (say, every
+// transfer of a long run violating causality) must not balloon into
+// millions of identical records.
+const maxViolations = 64
+
+// Checker accumulates invariant violations from any number of watches
+// and result audits. Watch hooks run inside the single-threaded
+// simulation, but one Checker may serve several concurrently running
+// simulations (a -j sweep), so recording is mutex-protected.
+//
+// The zero value is not usable; call New.
+type Checker struct {
+	mu       sync.Mutex
+	vs       []Violation
+	dropped  int
+	audits   []func()
+	finished bool
+}
+
+// New returns an empty checker.
+func New() *Checker { return &Checker{} }
+
+// Reportf records a violation of the named invariant.
+func (c *Checker) Reportf(invariant, format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.vs) >= maxViolations {
+		c.dropped++
+		return
+	}
+	c.vs = append(c.vs, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// onFinish registers an end-of-run audit executed by Finish.
+// Conservation ledgers can only balance once the simulation is over,
+// which is why the watches defer their totals comparison to it.
+func (c *Checker) onFinish(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.audits = append(c.audits, fn)
+}
+
+// Violations returns a copy of everything recorded so far.
+func (c *Checker) Violations() []Violation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Violation(nil), c.vs...)
+}
+
+// Err summarises the recorded violations as a single error, nil when
+// the run is clean.
+func (c *Checker) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.vs) == 0 {
+		return nil
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "check: %d invariant violation(s):", len(c.vs)+c.dropped)
+	for _, v := range c.vs {
+		sb.WriteString("\n  ")
+		sb.WriteString(v.String())
+	}
+	if c.dropped > 0 {
+		fmt.Fprintf(&sb, "\n  ... and %d more (recording capped)", c.dropped)
+	}
+	return errors.New(sb.String())
+}
+
+// Finish runs the end-of-run audits registered by the watches (each at
+// most once) and returns Err(). Call it after the simulation has
+// completed; result audits like VerifyBeff may run before or after.
+func (c *Checker) Finish() error {
+	c.mu.Lock()
+	audits := c.audits
+	c.audits = nil
+	c.finished = true
+	c.mu.Unlock()
+	for _, fn := range audits {
+		fn()
+	}
+	return c.Err()
+}
+
+// relTol is the tolerance for recomputed floating-point reductions.
+// The audits redo the exact arithmetic of the benchmark code, but the
+// values may have crossed a JSON round-trip or a different summation
+// order, so bit-exact equality is not owed — nine digits are.
+const relTol = 1e-9
+
+// almostEqual reports whether two float64 values agree to relTol.
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= relTol*math.Max(1, m)
+}
+
+// finite reports whether x is a usable measurement value.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

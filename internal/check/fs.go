@@ -1,0 +1,100 @@
+package check
+
+import (
+	"sync"
+
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/simfs"
+)
+
+// FSWatch is the I/O-server conservation ledger. It observes every
+// disk operation through simfs's OnServerOp hook (chaining any
+// observer already installed) and, at Checker.Finish, cross-checks the
+// per-server totals against the filesystem's own traffic counters.
+//
+// Writes must balance exactly: every byte the filesystem accepts hits
+// a server disk exactly once (write-behind only defers, never
+// absorbs). Reads satisfied by a server's cache return without disk
+// work, so the disk-side read total may legally fall short of the
+// client-side one — but never exceed it.
+type FSWatch struct {
+	c       *Checker
+	fs      *simfs.FS
+	servers int
+
+	mu      sync.Mutex
+	written []int64 // per-server disk bytes written
+	read    []int64 // per-server disk bytes read
+}
+
+// WatchFS installs an FSWatch on the filesystem. Call it after any
+// other observer (trace collection, perturbation) is set up and before
+// the simulation runs.
+func (c *Checker) WatchFS(fs *simfs.FS) *FSWatch {
+	n := fs.Config().Servers
+	w := &FSWatch{c: c, fs: fs, servers: n, written: make([]int64, n), read: make([]int64, n)}
+	prev := fs.Config().OnServerOp
+	fs.SetOnServerOp(func(server int, write bool, bytes int64, start, end des.Time) {
+		w.ObserveServerOp(server, write, bytes, start, end)
+		if prev != nil {
+			prev(server, write, bytes, start, end)
+		}
+	})
+	c.onFinish(w.verify)
+	return w
+}
+
+// ObserveServerOp records one disk operation. Exported so the
+// deliberate-violation tests can drive it directly.
+func (w *FSWatch) ObserveServerOp(server int, write bool, bytes int64, start, end des.Time) {
+	dir := "read"
+	if write {
+		dir = "write"
+	}
+	if bytes < 0 {
+		w.c.Reportf("fs/op-size", "server %d %s of negative size %d", server, dir, bytes)
+	}
+	if start < 0 || end < start {
+		w.c.Reportf("fs/causality", "server %d %s of %d B ends at %v, before it starts at %v",
+			server, dir, bytes, end, start)
+	}
+	if server < 0 || server >= w.servers {
+		w.c.Reportf("fs/server-id", "disk operation on server %d outside [0,%d)", server, w.servers)
+		return
+	}
+	w.mu.Lock()
+	if write {
+		w.written[server] += bytes
+	} else {
+		w.read[server] += bytes
+	}
+	w.mu.Unlock()
+}
+
+// ServerBytes reports the per-server (written, read) disk bytes
+// observed so far.
+func (w *FSWatch) ServerBytes() (written, read []int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]int64(nil), w.written...), append([]int64(nil), w.read...)
+}
+
+func (w *FSWatch) verify() {
+	w.mu.Lock()
+	var wr, rd int64
+	for i := 0; i < w.servers; i++ {
+		wr += w.written[i]
+		rd += w.read[i]
+	}
+	w.mu.Unlock()
+	if wr != w.fs.TotalWritten() {
+		w.c.Reportf("fs/write-conservation",
+			"server disks wrote %d B, but clients handed the filesystem %d B",
+			wr, w.fs.TotalWritten())
+	}
+	if rd > w.fs.TotalRead() {
+		w.c.Reportf("fs/read-conservation",
+			"server disks read %d B, more than the %d B clients requested",
+			rd, w.fs.TotalRead())
+	}
+}

@@ -14,15 +14,16 @@ import (
 // the smallest wake-up time, which preserves causality: shared state is
 // only ever mutated in nondecreasing virtual-time order.
 type Engine struct {
-	clock    Time
-	queue    procHeap
-	running  *Proc
-	yieldCh  chan *Proc
-	seq      uint64
-	procs    []*Proc
-	finished int
-	aborting bool
-	failure  error
+	clock     Time
+	queue     procHeap
+	running   *Proc
+	yieldCh   chan *Proc
+	seq       uint64
+	procs     []*Proc
+	finished  int
+	aborting  bool
+	failure   error
+	onAdvance func(from, to Time)
 }
 
 // NewEngine returns an empty engine with the clock at zero.
@@ -33,6 +34,13 @@ func NewEngine() *Engine {
 // Now reports the current virtual time. It is only meaningful while Run
 // is executing (from inside process bodies or engine callbacks).
 func (e *Engine) Now() Time { return e.clock }
+
+// SetOnAdvance installs an observer called on every advancement of the
+// virtual clock, with the clock value before and after. The scheduler
+// guarantees to >= from; internal/check uses this hook to assert it
+// independently. The hook runs inside the scheduler loop and must not
+// call back into the engine.
+func (e *Engine) SetOnAdvance(fn func(from, to Time)) { e.onAdvance = fn }
 
 // abortError is the sentinel carried by the panic that tears down
 // leftover process goroutines when a run aborts (deadlock or a process
@@ -91,6 +99,9 @@ func (e *Engine) loop() error {
 			// Should be impossible: wake times are always >= the clock
 			// at the moment they are set.
 			return fmt.Errorf("des: time ran backwards (clock %v, wake %v for %s)", e.clock, p.wakeAt, p.label)
+		}
+		if e.onAdvance != nil {
+			e.onAdvance(e.clock, p.wakeAt)
 		}
 		e.clock = p.wakeAt
 		p.now = p.wakeAt

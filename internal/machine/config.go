@@ -129,6 +129,45 @@ func ParseConfig(data []byte) (*Profile, error) {
 func usF(v float64) des.Duration { return des.Duration(v * 1000) }
 func msF(v float64) des.Duration { return des.Duration(v * 1e6) }
 
+// Bounds on the declarative schema. They keep a hostile or typo'd
+// config (the fuzzer's bread and butter) from overflowing the int64
+// byte arithmetic (memoryPerProcMB << 20, eagerLimitKB << 10) or
+// allocating absurd simulation state (per-server and per-client
+// slices), while staying far above every machine the paper models.
+const (
+	maxConfigProcs    = 1 << 16 // processors
+	maxConfigMemoryMB = 1 << 20 // 1 TB per process
+	maxConfigEagerKB  = 1 << 20 // 1 GB eager limit
+	maxConfigServers  = 1 << 12 // I/O servers
+	maxConfigKB       = 1 << 30 // 1 TB in KB-denominated size fields
+	maxConfigMB       = 1 << 20 // 1 TB in MB-denominated size fields
+)
+
+// nonneg rejects negative rate/latency knobs: a negative bandwidth or
+// overhead would silently turn into free transfers or time running
+// backwards deep inside the simulation.
+func nonneg(key string, fields ...struct {
+	name string
+	v    float64
+}) error {
+	for _, f := range fields {
+		if f.v < 0 {
+			return fmt.Errorf("machine %s: %s must not be negative (got %v)", key, f.name, f.v)
+		}
+	}
+	return nil
+}
+
+func f(name string, v float64) struct {
+	name string
+	v    float64
+} {
+	return struct {
+		name string
+		v    float64
+	}{name, v}
+}
+
 // Build validates the definition and produces a Profile.
 func (cf ConfigFile) Build() (*Profile, error) {
 	if cf.Key == "" || cf.Name == "" {
@@ -137,8 +176,37 @@ func (cf ConfigFile) Build() (*Profile, error) {
 	if cf.MaxProcs < 1 {
 		return nil, fmt.Errorf("machine %s: maxProcs must be >= 1", cf.Key)
 	}
+	if cf.MaxProcs > maxConfigProcs {
+		return nil, fmt.Errorf("machine %s: maxProcs %d above the %d cap", cf.Key, cf.MaxProcs, maxConfigProcs)
+	}
 	if cf.MemoryPerProcMB < 1 {
 		return nil, fmt.Errorf("machine %s: memoryPerProcMB must be >= 1", cf.Key)
+	}
+	if cf.MemoryPerProcMB > maxConfigMemoryMB {
+		return nil, fmt.Errorf("machine %s: memoryPerProcMB %d above the %d cap", cf.Key, cf.MemoryPerProcMB, maxConfigMemoryMB)
+	}
+	if cf.SMPNodeSize < 0 || cf.SMPNodeSize > maxConfigProcs {
+		return nil, fmt.Errorf("machine %s: smpNodeSize %d outside [0,%d]", cf.Key, cf.SMPNodeSize, maxConfigProcs)
+	}
+	if cf.IOProcsPerNode < 0 || cf.IOProcsPerNode > maxConfigProcs {
+		return nil, fmt.Errorf("machine %s: ioProcsPerNode %d outside [0,%d]", cf.Key, cf.IOProcsPerNode, maxConfigProcs)
+	}
+	if cf.NIC.EagerLimitKB < 0 || cf.NIC.EagerLimitKB > maxConfigEagerKB {
+		return nil, fmt.Errorf("machine %s: eagerLimitKB %d outside [0,%d]", cf.Key, cf.NIC.EagerLimitKB, maxConfigEagerKB)
+	}
+	if err := nonneg(cf.Key,
+		f("rmaxPerProcGF", cf.RmaxPerProcGF),
+		f("nic.txGBps", cf.NIC.TxGBps), f("nic.rxGBps", cf.NIC.RxGBps), f("nic.portGBps", cf.NIC.PortGBps),
+		f("nic.sendOverheadUs", cf.NIC.SendOverheadUs), f("nic.recvOverheadUs", cf.NIC.RecvOverheadUs),
+		f("nic.memcpyGBps", cf.NIC.MemcpyGBps),
+		f("fabric.aggregateGBps", cf.Fabric.AggregateGBps), f("fabric.latencyUs", cf.Fabric.LatencyUs),
+		f("fabric.busGBps", cf.Fabric.BusGBps), f("fabric.intraCopies", cf.Fabric.IntraCopies),
+		f("fabric.adapterGBps", cf.Fabric.AdapterGBps), f("fabric.spineGBps", cf.Fabric.SpineGBps),
+		f("fabric.intraLatencyUs", cf.Fabric.IntraLatencyUs), f("fabric.interLatencyUs", cf.Fabric.InterLatencyUs),
+		f("fabric.linkGBps", cf.Fabric.LinkGBps), f("fabric.baseLatencyUs", cf.Fabric.BaseLatUs),
+		f("fabric.hopLatencyNs", cf.Fabric.HopLatencyNs),
+	); err != nil {
+		return nil, err
 	}
 	nodeSize := cf.SMPNodeSize
 	if nodeSize == 0 {
@@ -227,6 +295,9 @@ func (cf ConfigFile) fabricBuilder(nodeSize int) (func(procs int) simnetConfig, 
 		if f.LeafSize < 1 || f.Uplinks < 1 {
 			return nil, fmt.Errorf("machine %s: fat-tree needs leafSize and uplinks", cf.Key)
 		}
+		if f.LeafSize > maxConfigProcs || f.Uplinks > maxConfigServers {
+			return nil, fmt.Errorf("machine %s: fat-tree leafSize/uplinks above cap", cf.Key)
+		}
 		return func(procs int) simnetConfig {
 			return simnetConfig{
 				fabric: simnet.NewFatTree(simnet.FatTreeConfig{
@@ -246,6 +317,23 @@ func (cf ConfigFile) fabricBuilder(nodeSize int) (func(procs int) simnetConfig, 
 }
 
 func (fc FSConfig) build(key string, maxProcs int) (*simfs.Config, error) {
+	if fc.Servers > maxConfigServers {
+		return nil, fmt.Errorf("machine %s: fs.servers %d above the %d cap", key, fc.Servers, maxConfigServers)
+	}
+	if fc.StripeKB > maxConfigKB || fc.BlockKB > maxConfigKB || fc.SectorB > maxConfigKB*kB {
+		return nil, fmt.Errorf("machine %s: fs chunk sizes above the %d-KB cap", key, int64(maxConfigKB))
+	}
+	if fc.CachePerServerMB < 0 || fc.CachePerServerMB > maxConfigMB {
+		return nil, fmt.Errorf("machine %s: fs.cachePerServerMB %d outside [0,%d]", key, fc.CachePerServerMB, int64(maxConfigMB))
+	}
+	if err := nonneg(key,
+		f("fs.writeMBps", fc.WriteMBps), f("fs.readMBps", fc.ReadMBps), f("fs.seekMs", fc.SeekMs),
+		f("fs.requestOverheadUs", fc.RequestOverheadUs), f("fs.openMs", fc.OpenMs), f("fs.closeMs", fc.CloseMs),
+		f("fs.clientMBps", fc.ClientMBps), f("fs.memoryGBps", fc.MemoryGBps),
+		f("fs.allocPerBlockUs", fc.AllocPerBlockUs),
+	); err != nil {
+		return nil, err
+	}
 	cfg := &simfs.Config{
 		Name:               key + " fs",
 		Servers:            fc.Servers,

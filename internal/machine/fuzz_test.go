@@ -1,0 +1,88 @@
+package machine
+
+import "testing"
+
+// FuzzParseConfig drives the JSON machine-definition parser with
+// arbitrary bytes. The contract under test: ParseConfig either returns
+// an error or a fully usable Profile — never a panic, never a profile
+// whose derived quantities (L_max, M_PART, memory, eager limit) are
+// nonsensical, and never one whose world or filesystem builders blow
+// up. The bounds in ConfigFile.Build exist exactly so that this holds.
+func FuzzParseConfig(f *testing.F) {
+	// The doc-comment example from config.go.
+	f.Add([]byte(`{
+	  "key": "mycluster",
+	  "name": "My 2x16 SMP cluster",
+	  "maxProcs": 32,
+	  "smpNodeSize": 16,
+	  "numbering": "sequential",
+	  "memoryPerProcMB": 512,
+	  "rmaxPerProcGF": 1.2,
+	  "fabric": {
+	    "kind": "smp-cluster",
+	    "busGBps": 8, "adapterGBps": 1,
+	    "intraLatencyUs": 2, "interLatencyUs": 10
+	  },
+	  "nic": {"txGBps": 1.5, "rxGBps": 1.5, "portGBps": 1.2,
+	          "sendOverheadUs": 4, "recvOverheadUs": 4, "memcpyGBps": 3},
+	  "fs": {"servers": 8, "stripeKB": 512, "blockKB": 64,
+	         "writeMBps": 40, "readMBps": 45, "seekMs": 5,
+	         "requestOverheadUs": 150, "cachePerServerMB": 64,
+	         "memoryGBps": 2, "clientMBps": 0}
+	}`))
+	// Minimal crossbar (the default fabric kind).
+	f.Add([]byte(`{"key":"min","name":"minimal","maxProcs":4,"memoryPerProcMB":64,
+	  "fabric":{"aggregateGBps":1,"latencyUs":10},
+	  "nic":{"txGBps":1,"rxGBps":1,"portGBps":1,"memcpyGBps":1}}`))
+	// Torus and fat-tree exercise the other builders.
+	f.Add([]byte(`{"key":"tor","name":"torus","maxProcs":8,"memoryPerProcMB":128,
+	  "fabric":{"kind":"torus3d","linkGBps":0.6,"baseLatencyUs":1,"hopLatencyNs":50},
+	  "nic":{"txGBps":1,"rxGBps":1,"portGBps":0.5}}`))
+	f.Add([]byte(`{"key":"ft","name":"fat tree","maxProcs":16,"memoryPerProcMB":256,
+	  "fabric":{"kind":"fat-tree","leafSize":4,"uplinks":2,"linkGBps":1,
+	            "intraLatencyUs":1,"interLatencyUs":5},
+	  "nic":{"txGBps":1,"rxGBps":1,"portGBps":1}}`))
+	// Interesting rejects: overflow-bait and negative knobs.
+	f.Add([]byte(`{"key":"x","name":"x","maxProcs":1,"memoryPerProcMB":9223372036854775807}`))
+	f.Add([]byte(`{"key":"x","name":"x","maxProcs":1,"memoryPerProcMB":1,"nic":{"eagerLimitKB":-3}}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseConfig(data)
+		if err != nil {
+			return // rejecting is always fine; not panicking is the point
+		}
+		if p.Key == "" || p.Name == "" {
+			t.Fatalf("accepted config without key/name: %+v", p)
+		}
+		if p.MaxProcs < 1 || p.MaxProcs > maxConfigProcs {
+			t.Fatalf("accepted maxProcs %d outside [1,%d]", p.MaxProcs, maxConfigProcs)
+		}
+		if p.MemoryPerProc <= 0 {
+			t.Fatalf("memoryPerProc overflowed to %d", p.MemoryPerProc)
+		}
+		if p.EagerLimit < 0 {
+			t.Fatalf("eager limit overflowed to %d", p.EagerLimit)
+		}
+		if lmax := p.Lmax(); lmax <= 0 {
+			t.Fatalf("Lmax() = %d for accepted config", lmax)
+		}
+		if mp := p.MPart(); mp < 2*mB {
+			t.Fatalf("MPart() = %d below the 2 MB floor", mp)
+		}
+		_ = p.String()
+
+		procs := p.MaxProcs
+		if procs > 4 {
+			procs = 4
+		}
+		if _, err := p.BuildWorld(procs); err != nil {
+			t.Fatalf("accepted config cannot build a %d-proc world: %v", procs, err)
+		}
+		if p.FS != nil {
+			if _, err := p.BuildFS(); err != nil {
+				t.Fatalf("accepted fs config cannot build: %v", err)
+			}
+		}
+	})
+}

@@ -82,6 +82,9 @@ func (c *Comm) isend(dst, tag int, size int64, data []byte) *Request {
 	dstWorld := c.group[dst]
 	sp, dp := w.phys(srcWorld), w.phys(dstWorld)
 
+	if w.cfg.OnSend != nil {
+		w.cfg.OnSend(srcWorld, dstWorld, size, p.Now())
+	}
 	req := &Request{kind: reqSend, comm: c}
 	m := &message{ctx: c.ctx, src: srcWorld, tag: tag, size: size}
 	if size <= w.cfg.EagerLimit {
@@ -213,7 +216,11 @@ func (w *World) deliver(dstWorld int, m *message) {
 func (w *World) bind(m *message, req *Request) {
 	m.bound = true
 	req.msg = m
-	st := w.ranks[req.comm.group[req.comm.rank]]
+	dstWorld := req.comm.group[req.comm.rank]
+	if w.cfg.OnMatch != nil {
+		w.cfg.OnMatch(m.src, dstWorld, m.size, w.eng.Now())
+	}
+	st := w.ranks[dstWorld]
 	if !m.rendezvous {
 		req.done = true
 		req.at = m.availAt

@@ -51,6 +51,27 @@ type WorldConfig struct {
 	// Procs is the number of MPI processes. Zero means one process per
 	// physical processor of Net.
 	Procs int
+
+	// OnSend, when non-nil, observes every point-to-point message at the
+	// moment it is submitted: world ranks of sender and receiver, payload
+	// size in bytes, and the submission time. Collectives are implemented
+	// on point-to-point, so the hook sees all traffic. Sends to ProcNull
+	// carry no message and are not reported. internal/check installs its
+	// byte-conservation ledger here.
+	OnSend func(src, dst int, size int64, at des.Time)
+
+	// OnMatch observes every message at the moment it is bound to a
+	// receive (world ranks, size, current virtual time). Each message is
+	// bound exactly once, so pairing OnSend and OnMatch observations
+	// yields an exactly-once delivery ledger: any message sent but never
+	// received, or double-counted, shows up as a pair imbalance.
+	OnMatch func(src, dst int, size int64, at des.Time)
+
+	// OnClockAdvance is installed on the run's event engine (see
+	// des.Engine.SetOnAdvance) and observes every advancement of the
+	// virtual clock. The engine is created inside Run, so this is the
+	// only way for callers to watch it.
+	OnClockAdvance func(from, to des.Time)
 }
 
 // World owns the shared state of one MPI job.
@@ -97,6 +118,9 @@ func Run(cfg WorldConfig, body func(c *Comm)) error {
 		cfg.EagerLimit = DefaultEagerLimit
 	}
 	eng := des.NewEngine()
+	if cfg.OnClockAdvance != nil {
+		eng.SetOnAdvance(cfg.OnClockAdvance)
+	}
 	w := &World{cfg: cfg, eng: eng, net: cfg.Net, size: n, nextCtx: 1}
 	w.ranks = make([]*rankState, n)
 	for i := range w.ranks {

@@ -81,7 +81,10 @@ func (c *Cache) load(key string, into any) bool {
 	if err := json.Unmarshal(data, &e); err != nil {
 		return false
 	}
-	if len(e.Value) == 0 {
+	if len(e.Value) == 0 || string(e.Value) == "null" {
+		// A JSON null would "unmarshal" successfully into a pointer
+		// target by setting it to nil — a poisoned hit. Treat it as the
+		// corruption it is and recompute.
 		return false
 	}
 	return json.Unmarshal(e.Value, into) == nil

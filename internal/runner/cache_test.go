@@ -97,6 +97,50 @@ func TestCorruptedEntryFallsBackToRecompute(t *testing.T) {
 	}
 }
 
+func TestNullValueEntryFallsBackToRecompute(t *testing.T) {
+	// A stored `"value": null` would unmarshal "successfully" into a
+	// pointer-typed result by setting it to nil — a poisoned hit that
+	// downstream code dereferences. It must be treated as corruption:
+	// miss, recompute, repair.
+	cache := openTestCache(t)
+	var runs atomic.Int32
+	type payload struct{ N int }
+	cell := Cell[*payload]{
+		Key:         "ptr-cell",
+		Fingerprint: fp{Machine: "t3e", Procs: 8},
+		Run:         func() (*payload, error) { runs.Add(1); return &payload{N: 11}, nil },
+	}
+	Sweep([]Cell[*payload]{cell}, Options{Cache: cache})
+	key, err := cache.keyFor(cell.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, corruption := range []string{
+		`{"key":"ptr-cell","fingerprint":{},"value":null}`,
+		"\x00\x01binary garbage\xff",
+	} {
+		if err := os.WriteFile(cache.path(key), []byte(corruption), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		before := runs.Load()
+		res := Sweep([]Cell[*payload]{cell}, Options{Cache: cache})
+		if res[0].Cached || res[0].Err != nil {
+			t.Fatalf("corrupted entry %q served as a hit: %+v", corruption, res[0])
+		}
+		if res[0].Value == nil || res[0].Value.N != 11 {
+			t.Fatalf("corrupted entry %q poisoned the result: %+v", corruption, res[0].Value)
+		}
+		if runs.Load() != before+1 {
+			t.Fatalf("corrupted entry %q: body not re-invoked", corruption)
+		}
+		// The recompute must repair the entry.
+		res = Sweep([]Cell[*payload]{cell}, Options{Cache: cache})
+		if !res[0].Cached || res[0].Value == nil || res[0].Value.N != 11 {
+			t.Fatalf("entry not repaired after corruption %q: %+v", corruption, res[0])
+		}
+	}
+}
+
 func TestCodeVersionSaltInvalidates(t *testing.T) {
 	cache := openTestCache(t)
 	var runs atomic.Int32

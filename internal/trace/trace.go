@@ -7,9 +7,12 @@
 package trace
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"github.com/hpcbench/beff/internal/des"
 )
@@ -29,12 +32,21 @@ type IOEvent struct {
 	Start, End des.Time
 }
 
+// MarkEvent is a user-named span of virtual time: a benchmark phase, a
+// pattern boundary, anything worth seeing against the hardware events.
+// Names are caller-controlled free text.
+type MarkEvent struct {
+	Name       string
+	Start, End des.Time
+}
+
 // Collector accumulates events. It is safe for use from a single
 // des.Engine run (which serialises); wrap externally if several engines
 // share one collector.
 type Collector struct {
 	Messages []MessageEvent
 	IOs      []IOEvent
+	Marks    []MarkEvent
 }
 
 // New returns an empty collector.
@@ -48,6 +60,12 @@ func (c *Collector) OnTransfer(src, dst int, size int64, start, end des.Time) {
 // OnServerOp is the hook for simfs.Config.OnServerOp.
 func (c *Collector) OnServerOp(server int, write bool, bytes int64, start, end des.Time) {
 	c.IOs = append(c.IOs, IOEvent{Server: server, Write: write, Bytes: bytes, Start: start, End: end})
+}
+
+// Mark records a named annotation span. It renders as its own row
+// (pid 2) in the Chrome trace, above the processor and server rows.
+func (c *Collector) Mark(name string, start, end des.Time) {
+	c.Marks = append(c.Marks, MarkEvent{Name: name, Start: start, End: end})
 }
 
 // Summary aggregates the collected events.
@@ -108,10 +126,24 @@ func less(a, b [2]int) bool {
 	return a[1] < b[1]
 }
 
+// jsonString encodes a name as a JSON string literal. Go's %q is the
+// wrong tool here: it produces Go escapes like \a and \x07 that JSON
+// parsers reject, so a mark named after a string with control bytes
+// would corrupt the whole trace file.
+func jsonString(s string) string {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false) // keep "msg 0->1" readable
+	if err := enc.Encode(s); err != nil {
+		return `"?"` // unreachable: strings always encode
+	}
+	return strings.TrimSuffix(buf.String(), "\n")
+}
+
 // WriteChromeTrace emits the events in the Chrome trace-event format:
-// one complete ("X") event per message and per server operation.
+// one complete ("X") event per message, server operation, and mark.
 // Timestamps are microseconds of virtual time; processors appear as
-// pid 0 rows, I/O servers as pid 1.
+// pid 0 rows, I/O servers as pid 1, marks as pid 2.
 func (c *Collector) WriteChromeTrace(w io.Writer) error {
 	if _, err := io.WriteString(w, "[\n"); err != nil {
 		return err
@@ -129,8 +161,8 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 			dur = 1
 		}
 		_, err := fmt.Fprintf(w,
-			`  {"name":%q,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{%s}}`,
-			name, float64(start)/1e3, float64(dur)/1e3, pid, tid, args)
+			`  {"name":%s,"ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{%s}}`,
+			jsonString(name), float64(start)/1e3, float64(dur)/1e3, pid, tid, args)
 		return err
 	}
 	// Stable ordering for reproducible output.
@@ -153,6 +185,13 @@ func (c *Collector) WriteChromeTrace(w io.Writer) error {
 		name := fmt.Sprintf("disk %s", op)
 		args := fmt.Sprintf(`"bytes":%d`, e.Bytes)
 		if err := emit(name, 1, e.Server, e.Start, e.End, args); err != nil {
+			return err
+		}
+	}
+	marks := append([]MarkEvent(nil), c.Marks...)
+	sort.SliceStable(marks, func(i, j int) bool { return marks[i].Start < marks[j].Start })
+	for _, m := range marks {
+		if err := emit(m.Name, 2, 0, m.Start, m.End, ""); err != nil {
 			return err
 		}
 	}

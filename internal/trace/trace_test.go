@@ -3,6 +3,7 @@ package trace
 import (
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/hpcbench/beff/internal/des"
@@ -13,6 +14,14 @@ import (
 
 func collectRun(t *testing.T) *Collector {
 	t.Helper()
+	col, err := doRun()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+func doRun() (*Collector, error) {
 	col := New()
 	net := simnet.New(simnet.Config{
 		Fabric:       simnet.NewCrossbar(4, 0, des.Microsecond),
@@ -39,9 +48,9 @@ func collectRun(t *testing.T) *Collector {
 		c.Barrier()
 	})
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
-	return col
+	return col, nil
 }
 
 func TestCollectorGathersEvents(t *testing.T) {
@@ -123,6 +132,107 @@ func TestSummaryBusiestPair(t *testing.T) {
 	s := col.Summarize()
 	if s.BusiestPair != [2]int{0, 1} || s.BusiestBytes != 200 {
 		t.Errorf("busiest pair = %v (%d)", s.BusiestPair, s.BusiestBytes)
+	}
+}
+
+// TestChromeTraceEscapesMetacharacters: a mark named after arbitrary
+// user text — quotes, backslashes, control bytes, newlines — must not
+// corrupt the trace file. (Go's %q verb would emit \a and \x07 here,
+// which JSON parsers reject.)
+func TestChromeTraceEscapesMetacharacters(t *testing.T) {
+	names := []string{
+		`quoted "phase" name`,
+		`back\slash`,
+		"bell \a and newline \n and tab \t",
+		"control \x00\x01\x1f bytes",
+		"html <script>&</script>",
+		"unicode ∑ ü 日本",
+	}
+	col := New()
+	for i, name := range names {
+		col.Mark(name, des.Time(i*10), des.Time(i*10+5))
+	}
+	var sb strings.Builder
+	if err := col.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("metacharacter names broke the JSON: %v\n%s", err, sb.String())
+	}
+	if len(events) != len(names) {
+		t.Fatalf("%d events, want %d", len(events), len(names))
+	}
+	for i, e := range events {
+		if e["name"] != names[i] {
+			t.Errorf("name %d did not round-trip: %q != %q", i, e["name"], names[i])
+		}
+		if e["pid"].(float64) != 2 {
+			t.Errorf("mark %d on pid %v, want 2", i, e["pid"])
+		}
+	}
+}
+
+// TestMarksAlongsideEvents: marks coexist with hardware events and
+// keep the event count and per-row pids coherent.
+func TestMarksAlongsideEvents(t *testing.T) {
+	col := collectRun(t)
+	col.Mark("whole run", 0, col.Summarize().Horizon)
+	var sb strings.Builder
+	if err := col.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(col.Messages) + len(col.IOs) + 1; len(events) != want {
+		t.Fatalf("%d events, want %d", len(events), want)
+	}
+	marks := 0
+	for _, e := range events {
+		if e["pid"].(float64) == 2 {
+			marks++
+		}
+	}
+	if marks != 1 {
+		t.Fatalf("%d mark rows, want 1", marks)
+	}
+}
+
+// TestConcurrentCollectorsIndependent: each simulation run owns its
+// collector, and concurrent runs must not leak state into each other —
+// the summaries of eight parallel runs of a deterministic simulation
+// are identical to a serial one. Run with -race, this also proves the
+// collector hooks share nothing behind the scenes.
+func TestConcurrentCollectorsIndependent(t *testing.T) {
+	reference := collectRun(t).Summarize()
+	const n = 8
+	summaries := make([]Summary, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			col, err := doRun()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			summaries[i] = col.Summarize()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d failed: %v", i, err)
+		}
+	}
+	for i, s := range summaries {
+		if s != reference {
+			t.Errorf("concurrent run %d diverged:\n got %+v\nwant %+v", i, s, reference)
+		}
 	}
 }
 
