@@ -22,6 +22,7 @@ import (
 	"github.com/hpcbench/beff/internal/des"
 	"github.com/hpcbench/beff/internal/machine"
 	"github.com/hpcbench/beff/internal/perturb"
+	"github.com/hpcbench/beff/internal/prof"
 	"github.com/hpcbench/beff/internal/report"
 	"github.com/hpcbench/beff/internal/trace"
 )
@@ -42,6 +43,8 @@ func main() {
 		hotspots   = flag.Int("hotspots", 0, "print the N busiest network resources after the run")
 		checkRun   = flag.Bool("check", false, "verify runtime invariants (byte conservation, causality, reductions) and fail on violation")
 		list       = flag.Bool("list", false, "list machine profiles and exit")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -64,6 +67,11 @@ func main() {
 		}
 		return
 	}
+
+	defer func() { fatal(prof.WriteHeap(*memProfile)) }()
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	fatal(err)
+	defer stopCPU()
 
 	p, err := loadProfile(*configPath, *machineKey)
 	fatal(err)

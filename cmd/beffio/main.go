@@ -25,6 +25,7 @@ import (
 	"github.com/hpcbench/beff/internal/mpi"
 	"github.com/hpcbench/beff/internal/mpiio"
 	"github.com/hpcbench/beff/internal/perturb"
+	"github.com/hpcbench/beff/internal/prof"
 	"github.com/hpcbench/beff/internal/report"
 	"github.com/hpcbench/beff/internal/simfs"
 	"github.com/hpcbench/beff/internal/stats"
@@ -49,6 +50,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "seed for the -perturb fault schedule")
 		reps       = flag.Int("reps", 1, "repetitions of the whole benchmark; with -perturb each uses an independently derived seed and the maximum is reported")
 		checkRun   = flag.Bool("check", false, "verify runtime invariants (byte conservation, causality, reductions) and fail on violation")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -67,8 +70,12 @@ func main() {
 		usageErr("-seed must be >= 1, got %d", *seed)
 	}
 
+	defer func() { fatal(prof.WriteHeap(*memProfile)) }()
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	fatal(err)
+	defer stopCPU()
+
 	var p *machine.Profile
-	var err error
 	if *configPath != "" {
 		p, err = machine.LoadConfig(*configPath)
 	} else {
@@ -88,11 +95,11 @@ func main() {
 		opt.SkipTypes = []beffio.PatternType{beffio.Segmented}
 	}
 
-	var prof *perturb.Profile
+	var pert *perturb.Profile
 	if *perturbArg != "" {
-		prof, err = perturb.Load(*perturbArg)
+		pert, err = perturb.Load(*perturbArg)
 		fatal(err)
-		fmt.Printf("perturbation: %s (seed %d)\n", prof.Name, *seed)
+		fmt.Printf("perturbation: %s (seed %d)\n", pert.Name, *seed)
 	}
 
 	// setupWith builds the per-run world; the perturbation profile is
@@ -113,7 +120,7 @@ func main() {
 			if err != nil {
 				return mpi.WorldConfig{}, nil, err
 			}
-			prof.Apply(w.Net, fs, perturbSeed)
+			pert.Apply(w.Net, fs, perturbSeed)
 			return w, fs, nil
 		}
 	}

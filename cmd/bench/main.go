@@ -1,0 +1,242 @@
+// Command bench is the simulator's performance harness: it runs
+// fixed-seed b_eff and b_eff_io cells, measures the host-side cost of
+// the simulation core (nanoseconds and heap allocations per simulated
+// message, peak RSS), and writes the numbers as JSON so the perf
+// trajectory of the hot paths is tracked in-repo from PR to PR.
+//
+// Usage:
+//
+//	bench                         # full cells, write BENCH_core.json
+//	bench -quick                  # small cells, CI smoke
+//	bench -baseline old.json      # embed old numbers and report speedups
+//	bench -cpuprofile cpu.out     # profile the cells
+//
+// An "op" is one simulated message through the full des+simnet+mpi
+// stack; ns/op and allocs/op are therefore the per-message cost the
+// ROADMAP's "as fast as the hardware allows" goal cares about. Each
+// cell also records its headline benchmark value (b_eff in MB/s), so a
+// perf regression that changes results is caught by the same file.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/prof"
+)
+
+// CellResult is the measured cost of one benchmark cell.
+type CellResult struct {
+	Name       string  `json:"name"`
+	Ops        int64   `json:"ops"`       // simulated messages
+	WallSec    float64 `json:"wall_s"`    // best-of-iters wall clock
+	NsPerOp    float64 `json:"ns_per_op"` // wall / messages
+	AllocsPerA float64 `json:"allocs_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`  // heap bytes allocated / messages
+	HeadlineMB float64 `json:"headline_mb_s"` // the cell's benchmark value, for result-drift detection
+}
+
+// Report is the schema of BENCH_core.json.
+type Report struct {
+	Generated string                `json:"generated"`
+	GoVersion string                `json:"go_version"`
+	Quick     bool                  `json:"quick,omitempty"`
+	PeakRSSKB int64                 `json:"peak_rss_kb"`
+	Cells     []CellResult          `json:"cells"`
+	Baseline  []CellResult          `json:"baseline,omitempty"`
+	BaseRSSKB int64                 `json:"baseline_peak_rss_kb,omitempty"`
+	Speedups  map[string]SpeedupRow `json:"speedups,omitempty"`
+}
+
+// SpeedupRow compares one cell against the baseline run.
+type SpeedupRow struct {
+	Wall   float64 `json:"wall"`   // baseline wall / current wall
+	Allocs float64 `json:"allocs"` // baseline allocs/op / current allocs/op
+}
+
+// cell is one fixed-seed workload with a way to count its messages.
+type cell struct {
+	name string
+	run  func() (ops int64, headlineMB float64, err error)
+}
+
+func cells(quick bool) []cell {
+	beffCell := func(key string, procs, maxLoop int, skipAnalysis bool) cell {
+		return cell{
+			name: fmt.Sprintf("beff_%s_%d", key, procs),
+			run: func() (int64, float64, error) {
+				p, err := machine.Lookup(key)
+				if err != nil {
+					return 0, 0, err
+				}
+				w, err := p.BuildWorld(procs)
+				if err != nil {
+					return 0, 0, err
+				}
+				res, err := core.Run(w, core.Options{
+					MemoryPerProc: p.MemoryPerProc,
+					Seed:          1,
+					MaxLooplength: maxLoop,
+					Reps:          1,
+					SkipAnalysis:  skipAnalysis,
+				})
+				if err != nil {
+					return 0, 0, err
+				}
+				return w.Net.Messages(), res.Beff / 1e6, nil
+			},
+		}
+	}
+	beffioCell := func(key string, procs int, t des.Duration) cell {
+		return cell{
+			name: fmt.Sprintf("beffio_%s_%d", key, procs),
+			run: func() (int64, float64, error) {
+				p, err := machine.Lookup(key)
+				if err != nil {
+					return 0, 0, err
+				}
+				w, err := p.BuildIOWorld(procs)
+				if err != nil {
+					return 0, 0, err
+				}
+				fs, err := p.BuildFS()
+				if err != nil {
+					return 0, 0, err
+				}
+				res, err := beffio.Run(w, fs, beffio.Options{T: t, MPart: p.MPart()})
+				if err != nil {
+					return 0, 0, err
+				}
+				return w.Net.Messages(), res.BeffIO / 1e6, nil
+			},
+		}
+	}
+	if quick {
+		return []cell{
+			beffCell("t3e", 16, 2, true),
+			beffioCell("t3e", 8, des.DurationOf(0.2)),
+		}
+	}
+	return []cell{
+		// The acceptance cell: 64 ranks on the torus machine, the
+		// workload where slot scans, routing, and per-message
+		// allocations dominate.
+		beffCell("t3e", 64, 4, false),
+		beffCell("cluster", 32, 4, true),
+		beffioCell("t3e", 16, des.DurationOf(0.5)),
+	}
+}
+
+func measure(c cell, iters int) (CellResult, error) {
+	out := CellResult{Name: c.name}
+	for it := 0; it < iters; it++ {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		ops, headline, err := c.run()
+		wall := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return out, fmt.Errorf("cell %s: %w", c.name, err)
+		}
+		if ops <= 0 {
+			return out, fmt.Errorf("cell %s: no messages simulated", c.name)
+		}
+		allocs := float64(after.Mallocs-before.Mallocs) / float64(ops)
+		bytes := float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+		if it == 0 || wall < out.WallSec {
+			out.WallSec = wall
+			out.NsPerOp = wall * 1e9 / float64(ops)
+		}
+		if it == 0 || allocs < out.AllocsPerA {
+			out.AllocsPerA = allocs
+			out.BytesPerOp = bytes
+		}
+		out.Ops = ops
+		out.HeadlineMB = headline
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		quick      = flag.Bool("quick", false, "small cells for CI smoke runs")
+		iters      = flag.Int("iters", 3, "repetitions per cell (best wall time counts)")
+		out        = flag.String("o", "BENCH_core.json", "output JSON path ('-' for stdout only)")
+		baseline   = flag.String("baseline", "", "prior bench JSON to embed and compute speedups against")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the cells to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile after the cells to this file")
+	)
+	flag.Parse()
+	if *iters < 1 {
+		fmt.Fprintln(os.Stderr, "bench: -iters must be >= 1")
+		os.Exit(2)
+	}
+
+	stop, err := prof.StartCPU(*cpuprofile)
+	fatal(err)
+
+	rep := Report{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Quick:     *quick,
+	}
+	for _, c := range cells(*quick) {
+		r, err := measure(c, *iters)
+		fatal(err)
+		fmt.Printf("%-20s %10d ops  %8.1f ns/op  %6.2f allocs/op  %8.1f B/op  wall %6.3fs  headline %.2f MB/s\n",
+			r.Name, r.Ops, r.NsPerOp, r.AllocsPerA, r.BytesPerOp, r.WallSec, r.HeadlineMB)
+		rep.Cells = append(rep.Cells, r)
+	}
+	stop()
+	fatal(prof.WriteHeap(*memprofile))
+	rep.PeakRSSKB = peakRSSKB()
+
+	if *baseline != "" {
+		var base Report
+		data, err := os.ReadFile(*baseline)
+		fatal(err)
+		fatal(json.Unmarshal(data, &base))
+		rep.Baseline = base.Cells
+		rep.BaseRSSKB = base.PeakRSSKB
+		rep.Speedups = map[string]SpeedupRow{}
+		for _, b := range base.Cells {
+			for _, c := range rep.Cells {
+				if c.Name == b.Name && c.WallSec > 0 && c.AllocsPerA > 0 {
+					row := SpeedupRow{
+						Wall:   b.WallSec / c.WallSec,
+						Allocs: b.AllocsPerA / c.AllocsPerA,
+					}
+					rep.Speedups[c.Name] = row
+					fmt.Printf("%-20s speedup: %.2fx wall, %.2fx allocs/op\n", c.Name, row.Wall, row.Allocs)
+				}
+			}
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	fatal(err)
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	fatal(os.WriteFile(*out, data, 0o644))
+	fmt.Printf("wrote %s (peak RSS %d kB)\n", *out, rep.PeakRSSKB)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !linux && !darwin
+
+package main
+
+// peakRSSKB is unavailable on this platform.
+func peakRSSKB() int64 { return 0 }

@@ -1,0 +1,22 @@
+//go:build linux || darwin
+
+package main
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// peakRSSKB reports the process's peak resident set size in kilobytes,
+// or 0 if the platform cannot say.
+func peakRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	// Linux reports Maxrss in kB, Darwin in bytes.
+	if runtime.GOOS == "darwin" {
+		return ru.Maxrss / 1024
+	}
+	return ru.Maxrss
+}

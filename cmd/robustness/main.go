@@ -33,6 +33,7 @@ import (
 	"github.com/hpcbench/beff/internal/des"
 	"github.com/hpcbench/beff/internal/machine"
 	"github.com/hpcbench/beff/internal/perturb"
+	"github.com/hpcbench/beff/internal/prof"
 	"github.com/hpcbench/beff/internal/runner"
 )
 
@@ -51,6 +52,8 @@ func main() {
 		csvPath     = flag.String("csv", "", "write per-repetition values as CSV to this file")
 		checkRun    = flag.Bool("check", false, "verify result invariants (reductions, statistics) and fail on violation")
 		listPresets = flag.Bool("list-presets", false, "list built-in perturbation presets and exit")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	rf := &runner.Flags{}
 	rf.Register(flag.CommandLine)
@@ -79,7 +82,12 @@ func main() {
 		usageErr("-T must be positive, got %v", *tSecs)
 	}
 
-	prof, err := perturb.Load(*perturbArg)
+	defer func() { fatal(prof.WriteHeap(*memProfile)) }()
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	fatal(err)
+	defer stopCPU()
+
+	pert, err := perturb.Load(*perturbArg)
 	fatal(err)
 	p, err := machine.Lookup(*machineKey)
 	fatal(err)
@@ -96,7 +104,7 @@ func main() {
 		opt := beffio.Options{T: des.DurationOf(*tSecs), MPart: p.MPart()}
 		cells := make([]runner.Cell[*beffio.Result], 0, *reps+1)
 		for r := 0; r < *reps; r++ {
-			cells = append(cells, runner.RobustBeffIOCell(*machineKey, *procs, opt, prof, *seed, r))
+			cells = append(cells, runner.RobustBeffIOCell(*machineKey, *procs, opt, pert, *seed, r))
 		}
 		if *baseline {
 			cells = append(cells, runner.RobustBeffIOCell(*machineKey, *procs, opt, nil, 0, 0))
@@ -119,7 +127,7 @@ func main() {
 		opt := core.Options{MemoryPerProc: p.MemoryPerProc, MaxLooplength: *maxLoop, Reps: *innerReps}
 		cells := make([]runner.Cell[*core.Result], 0, *reps+1)
 		for r := 0; r < *reps; r++ {
-			cells = append(cells, runner.RobustBeffCell(*machineKey, *procs, opt, prof, *seed, r))
+			cells = append(cells, runner.RobustBeffCell(*machineKey, *procs, opt, pert, *seed, r))
 		}
 		if *baseline {
 			cells = append(cells, runner.RobustBeffCell(*machineKey, *procs, opt, nil, 0, 0))
@@ -146,7 +154,7 @@ func main() {
 		fmt.Println("check: all result invariants held")
 	}
 	fmt.Printf("robustness of %s on %s @ %d procs — profile %q, base seed %d, %d repetitions\n",
-		bench, p.Name, *procs, prof.Name, *seed, *reps)
+		bench, p.Name, *procs, pert.Name, *seed, *reps)
 	fmt.Printf("%4s  %20s  %12s\n", "rep", "seed", bench+" MB/s")
 	for r, v := range values {
 		fmt.Printf("%4d  %20d  %12.1f\n", r, perturb.RepSeed(*seed, r), v/1e6)
@@ -166,7 +174,7 @@ func main() {
 		w := csv.NewWriter(f)
 		fatal(w.Write([]string{"machine", "bench", "profile", "rep", "seed", "value_bytes_per_s"}))
 		for r, v := range values {
-			fatal(w.Write([]string{*machineKey, bench, prof.Name, strconv.Itoa(r),
+			fatal(w.Write([]string{*machineKey, bench, pert.Name, strconv.Itoa(r),
 				strconv.FormatInt(perturb.RepSeed(*seed, r), 10),
 				strconv.FormatFloat(v, 'g', -1, 64)}))
 		}

@@ -59,8 +59,9 @@ func runAnalysis(c *mpi.Comm, L int64) []AnalysisEntry {
 func timedExchange(c *mpi.Comm, nb Neighbors, bytesPerProc int64, involved int, iters int) float64 {
 	c.Barrier()
 	start := c.Wtime()
+	var s exchScratch
 	for i := 0; i < iters; i++ {
-		exchange(c, nb, bytesPerProc/2, MethodNonblocking)
+		exchange(c, nb, bytesPerProc/2, MethodNonblocking, &s)
 	}
 	el := c.Wtime() - start
 	all := c.AllreduceFloat64(mpi.OpMax, []float64{el})[0]

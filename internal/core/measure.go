@@ -43,15 +43,32 @@ const (
 	tagToRight = 102
 )
 
+// exchScratch is the per-rank scratch the exchange methods reuse across
+// loop iterations: Alltoallv count vectors and the nonblocking request
+// slice. AlltoallvBytes reads the counts synchronously and does not
+// retain them, and Waitall recycles the requests, so reuse is safe.
+type exchScratch struct {
+	send, recv []int64
+	reqs       [4]*mpi.Request
+}
+
+// counts returns zeroed send/recv count vectors of length n.
+func (s *exchScratch) counts(n int) (send, recv []int64) {
+	if cap(s.send) < n {
+		s.send = make([]int64, n)
+		s.recv = make([]int64, n)
+	}
+	return s.send[:n], s.recv[:n]
+}
+
 // exchange performs one iteration of the pattern's communication for
 // one process: a message of L bytes to each ring neighbour and the two
 // matching receives.
-func exchange(c *mpi.Comm, nb Neighbors, L int64, m Method) {
+func exchange(c *mpi.Comm, nb Neighbors, L int64, m Method, s *exchScratch) {
 	if !nb.InRing {
 		if m == MethodAlltoallv {
 			// Alltoallv is collective: even idle processes participate.
-			n := c.Size()
-			zero := make([]int64, n)
+			zero, _ := s.counts(c.Size())
 			c.AlltoallvBytes(zero, zero)
 		}
 		return
@@ -63,22 +80,22 @@ func exchange(c *mpi.Comm, nb Neighbors, L int64, m Method) {
 		c.SendrecvBytes(nb.Left, tagToLeft, L, nb.Right, tagToLeft)
 		c.SendrecvBytes(nb.Right, tagToRight, L, nb.Left, tagToRight)
 	case MethodAlltoallv:
-		n := c.Size()
-		send := make([]int64, n)
-		recv := make([]int64, n)
+		send, recv := s.counts(c.Size())
 		send[nb.Left] += L
 		send[nb.Right] += L
 		recv[nb.Left] += L
 		recv[nb.Right] += L
 		c.AlltoallvBytes(send, recv)
+		send[nb.Left], send[nb.Right] = 0, 0
+		recv[nb.Left], recv[nb.Right] = 0, 0
 	case MethodNonblocking:
-		reqs := []*mpi.Request{
+		s.reqs = [4]*mpi.Request{
 			c.IrecvBytes(nb.Right, tagToLeft),
 			c.IrecvBytes(nb.Left, tagToRight),
 			c.IsendBytes(nb.Left, tagToLeft, L),
 			c.IsendBytes(nb.Right, tagToRight, L),
 		}
-		c.Waitall(reqs)
+		c.Waitall(s.reqs[:])
 	}
 }
 
@@ -89,8 +106,9 @@ func measureOnce(c *mpi.Comm, p *Pattern, L int64, m Method, looplength int) flo
 	c.Barrier()
 	t0 := c.Wtime()
 	nb := p.NB[c.Rank()]
+	var s exchScratch
 	for k := 0; k < looplength; k++ {
-		exchange(c, nb, L, m)
+		exchange(c, nb, L, m, &s)
 	}
 	el := c.Wtime() - t0
 	return c.AllreduceFloat64(mpi.OpMax, []float64{el})[0]
@@ -107,14 +125,18 @@ func nextLooplength(cur int, measured float64, maxLL int) int {
 		return maxLL
 	}
 	perIter := measured / float64(cur)
-	want := int(loopTarget.Seconds() / perIter)
-	if want < 1 {
-		want = 1
+	// Clamp in float space: a tiny perIter makes the quotient +Inf or
+	// larger than any int, and float→int conversion of such values is
+	// implementation-defined. NaN (cur or measured poisoned upstream)
+	// fails both comparisons and falls through to maxLL.
+	wantF := loopTarget.Seconds() / perIter
+	if wantF < 1 {
+		return 1
 	}
-	if want > maxLL {
-		want = maxLL
+	if wantF < float64(maxLL) {
+		return int(wantF)
 	}
-	return want
+	return maxLL
 }
 
 // bandwidth applies the b_eff bandwidth formula:

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNextLooplengthClamps(t *testing.T) {
+	cases := []struct {
+		name     string
+		cur      int
+		measured float64
+		maxLL    int
+		want     int
+	}{
+		{"zero measurement", 4, 0, 300, 300},
+		{"negative measurement", 4, -1, 300, 300},
+		// A denormal-tiny per-iteration time makes the float quotient
+		// astronomically large (or +Inf); the conversion must not be
+		// attempted on such values.
+		{"tiny perIter overflows int", 1 << 20, 5e-324, 300, 300},
+		{"infinite quotient", 1, math.SmallestNonzeroFloat64, 300, 300},
+		{"cur=0 gives infinite perIter", 0, 0.001, 300, 1},
+		{"upper clamp", 1, 1e-9, 50, 50},
+		{"lower clamp", 1, 10, 300, 1},
+	}
+	for _, c := range cases {
+		got := nextLooplength(c.cur, c.measured, c.maxLL)
+		if got < 1 || got > c.maxLL {
+			t.Errorf("%s: nextLooplength(%d, %g, %d) = %d, outside [1,%d]",
+				c.name, c.cur, c.measured, c.maxLL, got, c.maxLL)
+		}
+	}
+}

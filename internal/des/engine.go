@@ -1,7 +1,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -144,7 +143,7 @@ func (e *Engine) teardown() error {
 		// abort flag set; the process panics with abortError which its
 		// wrapper swallows.
 		if p.state == stateQueued {
-			heap.Remove(&e.queue, p.heapIdx)
+			e.queue.remove(p.heapIdx)
 		}
 		p.state = stateAborting
 		p.resume <- resumeMsg{abort: true}
@@ -170,39 +169,112 @@ func (e *Engine) push(p *Proc, at Time) {
 	p.seq = e.seq
 	e.seq++
 	p.state = stateQueued
-	heap.Push(&e.queue, p)
+	e.queue.push(p)
 }
 
 func (e *Engine) pop() *Proc {
-	return heap.Pop(&e.queue).(*Proc)
+	return e.queue.pop()
 }
 
-// procHeap orders processes by wake time, breaking ties by insertion
-// sequence so that scheduling is fully deterministic.
+// procHeap is a hand-rolled binary min-heap of processes ordered by wake
+// time, breaking ties by insertion sequence so that scheduling is fully
+// deterministic. It is specialised (rather than using container/heap) to
+// keep the comparisons inlined: the heap is the scheduler's hottest data
+// structure. (wakeAt, seq) is a total order — seq values are unique —
+// so the pop sequence does not depend on the internal layout.
 type procHeap []*Proc
 
 func (h procHeap) Len() int { return len(h) }
-func (h procHeap) Less(i, j int) bool {
-	if h[i].wakeAt != h[j].wakeAt {
-		return h[i].wakeAt < h[j].wakeAt
+
+func (h procHeap) before(a, b *Proc) bool {
+	if a.wakeAt != b.wakeAt {
+		return a.wakeAt < b.wakeAt
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h procHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].heapIdx = i
-	h[j].heapIdx = j
+
+func (h *procHeap) push(p *Proc) {
+	q := append(*h, p)
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.before(p, q[parent]) {
+			break
+		}
+		q[i] = q[parent]
+		q[i].heapIdx = i
+		i = parent
+	}
+	q[i] = p
+	p.heapIdx = i
+	*h = q
 }
-func (h *procHeap) Push(x any) {
-	p := x.(*Proc)
-	p.heapIdx = len(*h)
-	*h = append(*h, p)
+
+func (h *procHeap) pop() *Proc {
+	q := *h
+	top := q[0]
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	if n > 0 {
+		q.siftDown(0, last)
+	}
+	return top
 }
-func (h *procHeap) Pop() any {
-	old := *h
-	n := len(old)
-	p := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return p
+
+// remove deletes the element at index i (teardown only).
+func (h *procHeap) remove(i int) {
+	q := *h
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	q = q[:n]
+	*h = q
+	if i < n {
+		q.siftDown(i, last)
+		if q[i] == last {
+			// last may also need to move up from position i.
+			q.siftUp(i)
+		}
+	}
+}
+
+// siftDown places p at index i, moving smaller children up.
+func (h procHeap) siftDown(i int, p *Proc) {
+	n := len(h)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && h.before(h[r], h[child]) {
+			child = r
+		}
+		if !h.before(h[child], p) {
+			break
+		}
+		h[i] = h[child]
+		h[i].heapIdx = i
+		i = child
+	}
+	h[i] = p
+	p.heapIdx = i
+}
+
+// siftUp restores the heap property upwards from index i.
+func (h procHeap) siftUp(i int) {
+	p := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.before(p, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		h[i].heapIdx = i
+		i = parent
+	}
+	h[i] = p
+	p.heapIdx = i
 }

@@ -69,7 +69,22 @@ func (p *Proc) SleepUntil(t Time) {
 	if t < p.now {
 		t = p.now
 	}
-	p.eng.push(p, t)
+	e := p.eng
+	// Fast path: if no queued process wakes at or before t, the scheduler
+	// would pop this process straight back, so the heap round-trip and
+	// the two channel handoffs can be skipped. The comparison is strict
+	// because an already-queued process with the same wake time carries a
+	// smaller sequence number and must run first.
+	if e.queue.Len() == 0 || e.queue[0].wakeAt > t {
+		if e.onAdvance != nil {
+			e.onAdvance(e.clock, t)
+		}
+		e.clock = t
+		p.wakeAt = t
+		p.now = t
+		return
+	}
+	e.push(p, t)
 	p.yield()
 }
 

@@ -68,7 +68,9 @@ func (c *Comm) IsendBytes(dst, tag int, n int64) *Request {
 
 func (c *Comm) isend(dst, tag int, size int64, data []byte) *Request {
 	if dst == ProcNull {
-		return &Request{kind: reqSend, comm: c, done: true, at: c.Proc().Now()}
+		r := c.world.newRequest()
+		r.kind, r.comm, r.done, r.at = reqSend, c, true, c.Proc().Now()
+		return r
 	}
 	if dst < 0 || dst >= len(c.group) {
 		c.Proc().Fail("mpi: Isend to invalid rank %d in communicator of size %d", dst, len(c.group))
@@ -85,13 +87,16 @@ func (c *Comm) isend(dst, tag int, size int64, data []byte) *Request {
 	if w.cfg.OnSend != nil {
 		w.cfg.OnSend(srcWorld, dstWorld, size, p.Now())
 	}
-	req := &Request{kind: reqSend, comm: c}
-	m := &message{ctx: c.ctx, src: srcWorld, tag: tag, size: size}
+	req := w.newRequest()
+	req.kind, req.comm = reqSend, c
+	m := w.newMessage()
+	m.ctx, m.src, m.tag, m.size = c.ctx, srcWorld, tag, size
 	if size <= w.cfg.EagerLimit {
 		// Eager: inject now; the payload is buffered so the sender is
 		// free as soon as injection ends.
 		if data != nil {
-			m.data = append([]byte(nil), data...)
+			m.data = w.getBuf(len(data))
+			copy(m.data, data)
 		}
 		senderFree, arrival := w.net.Transfer(sp, dp, size, p.Now())
 		m.availAt = arrival
@@ -141,8 +146,10 @@ func (c *Comm) IrecvBytes(src, tag int) *Request {
 
 func (c *Comm) irecv(src, tag int, buf []byte) *Request {
 	if src == ProcNull {
-		return &Request{kind: reqRecv, comm: c, done: true, at: c.Proc().Now(),
-			status: Status{Source: ProcNull, Tag: AnyTag}}
+		r := c.world.newRequest()
+		r.kind, r.comm, r.done, r.at = reqRecv, c, true, c.Proc().Now()
+		r.status = Status{Source: ProcNull, Tag: AnyTag}
+		return r
 	}
 	if src != AnySource && (src < 0 || src >= len(c.group)) {
 		c.Proc().Fail("mpi: Irecv from invalid rank %d in communicator of size %d", src, len(c.group))
@@ -153,7 +160,9 @@ func (c *Comm) irecv(src, tag int, buf []byte) *Request {
 		srcWorld = c.group[src]
 	}
 	me := c.group[c.rank]
-	req := &Request{kind: reqRecv, comm: c, src: srcWorld, tag: tag, ctx: c.ctx, buf: buf}
+	req := w.newRequest()
+	req.kind, req.comm = reqRecv, c
+	req.src, req.tag, req.ctx, req.buf = srcWorld, tag, c.ctx, buf
 	st := w.ranks[me]
 	// Try the unexpected-message queue first, in send order.
 	for i, m := range st.inbox {
@@ -227,6 +236,17 @@ func (w *World) bind(m *message, req *Request) {
 		st.wake.WakeAt(m.availAt)
 		return
 	}
+	// The payload leaves the sender's buffer now: the sender's request
+	// completes at senderFree, which precedes the receiver-side arrival,
+	// and MPI lets the sender reuse its buffer as soon as its own Wait
+	// returns. Snapshotting at bind keeps the bytes the receiver reads
+	// independent of that reuse (the sender cannot have run between its
+	// Isend and this bind — its request was not yet complete).
+	if m.data != nil {
+		snap := w.getBuf(len(m.data))
+		copy(snap, m.data)
+		m.data = snap
+	}
 	sp := w.phys(m.src)
 	dp := w.phys(req.comm.group[req.comm.rank])
 	now := w.eng.Now()
@@ -239,6 +259,7 @@ func (w *World) bind(m *message, req *Request) {
 	m.availAt = arrival
 	m.sendReq.done = true
 	m.sendReq.at = senderFree
+	m.sendReq = nil // the sender's Wait owns (and recycles) it from here
 	sst := w.ranks[m.src]
 	sst.wake.WakeAt(senderFree)
 	req.done = true
@@ -251,7 +272,9 @@ func (w *World) bind(m *message, req *Request) {
 
 // Wait blocks until the request completes and returns its status (zero
 // Status for sends). For receives the payload, if any, is copied into
-// the posted buffer.
+// the posted buffer. Like MPI_Wait setting the handle to
+// MPI_REQUEST_NULL, Wait recycles the request: the handle must not be
+// used again afterwards.
 func (c *Comm) Wait(r *Request) Status {
 	p := c.Proc()
 	me := c.group[c.rank]
@@ -267,16 +290,23 @@ func (c *Comm) Wait(r *Request) Status {
 	}
 	if r.kind == reqRecv && r.msg != nil {
 		m := r.msg
+		// Truncation is an error whenever a buffer was posted, even for
+		// timing-only senders: MPI's rule depends on the advertised
+		// message size, not on whether payload bytes were carried.
+		if r.buf != nil && int64(len(r.buf)) < m.size {
+			p.Fail("mpi: message of %d bytes truncated into %d-byte buffer (src %d tag %d)",
+				m.size, len(r.buf), m.src, m.tag)
+		}
 		if m.data != nil && r.buf != nil {
-			if int64(len(r.buf)) < m.size {
-				p.Fail("mpi: message of %d bytes truncated into %d-byte buffer (src %d tag %d)",
-					m.size, len(r.buf), m.src, m.tag)
-			}
 			copy(r.buf, m.data)
 		}
 		r.status = Status{Source: r.comm.groupRankOf(m.src), Tag: m.tag, Size: m.size}
+		c.world.freeMessage(m)
+		r.msg = nil
 	}
-	return r.status
+	status := r.status
+	c.world.freeRequest(r)
+	return status
 }
 
 // Waitall completes all requests.

@@ -1,0 +1,105 @@
+package mpi
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRendezvousSendBufferReuse is the regression test for the payload
+// aliasing bug: a rendezvous Isend used to keep a reference to the
+// caller's buffer until the receiver's Wait copied it out, but the
+// sender's request completes at senderFree < arrival — so a sender that
+// legally reuses its buffer after its own Wait corrupted the bytes the
+// receiver later read. MPI guarantees the buffer is the sender's again
+// once the send completes.
+func TestRendezvousSendBufferReuse(t *testing.T) {
+	const size = DefaultEagerLimit * 2 // well past the protocol switch
+	run(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := make([]byte, size)
+			for i := range buf {
+				buf[i] = byte(i % 251)
+			}
+			c.Wait(c.Isend(1, 3, buf))
+			// The send is complete: MPI says this buffer is ours again.
+			for i := range buf {
+				buf[i] = 0xFF
+			}
+			// Keep the rank alive past the receiver's Wait so the
+			// overwrite demonstrably happens while the message is still
+			// conceptually in flight (arrival > senderFree).
+			c.Barrier()
+		} else {
+			got := make([]byte, size)
+			c.Recv(0, 3, got)
+			for i, b := range got {
+				if b != byte(i%251) {
+					// Errorf, not Fatalf: Fatalf would Goexit the rank
+					// goroutine and deadlock the engine.
+					t.Errorf("byte %d = %#x, want %#x: receiver observed the sender's post-Wait buffer reuse", i, b, byte(i%251))
+					break
+				}
+			}
+			c.Barrier()
+		}
+	})
+}
+
+// TestEagerSendBufferReuse pins the same guarantee for the eager path,
+// which buffers the payload at injection time.
+func TestEagerSendBufferReuse(t *testing.T) {
+	const size = 128
+	run(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := make([]byte, size)
+			for i := range buf {
+				buf[i] = byte(i)
+			}
+			r := c.Isend(1, 3, buf)
+			for i := range buf {
+				buf[i] = 0xFF // eager: buffered at Isend, reuse is immediate
+			}
+			c.Wait(r)
+		} else {
+			got := make([]byte, size)
+			c.Recv(0, 3, got)
+			for i, b := range got {
+				if b != byte(i) {
+					t.Errorf("byte %d = %#x, want %#x", i, b, byte(i))
+					break
+				}
+			}
+		}
+	})
+}
+
+// TestTruncationTimingOnlySend verifies that an IsendBytes larger than a
+// posted data receive's buffer fails the simulation: MPI treats
+// truncation as an error regardless of whether a payload is carried,
+// and the old check only fired when both sides had buffers.
+func TestTruncationTimingOnlySend(t *testing.T) {
+	err := Run(WorldConfig{Net: testNet(2)}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SendBytes(1, 0, 4096)
+		} else {
+			c.Recv(0, 0, make([]byte, 64))
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("want truncation error, got %v", err)
+	}
+}
+
+// TestTruncationExactFitOK: a message exactly filling the posted buffer
+// is not truncation, with or without payload.
+func TestTruncationExactFitOK(t *testing.T) {
+	run(t, 2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SendBytes(1, 0, 64)
+			c.Send(1, 1, make([]byte, 64))
+		} else {
+			c.Recv(0, 0, make([]byte, 64))
+			c.Recv(0, 1, make([]byte, 64))
+		}
+	})
+}

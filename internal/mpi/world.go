@@ -82,6 +82,76 @@ type World struct {
 	size    int
 	ranks   []*rankState
 	nextCtx int
+
+	// Free-lists for the per-message hot-path objects. The engine runs
+	// exactly one rank at a time, so these need no locks; a full b_eff
+	// run pushes millions of messages through them. Requests are
+	// recycled when Wait returns (the MPI_REQUEST_NULL moment), messages
+	// and payload snapshots when the receiving Wait has copied them out.
+	freeMsgs []*message
+	freeReqs []*Request
+	freeBufs [][]byte
+}
+
+// newMessage pops a zeroed message from the free-list.
+func (w *World) newMessage() *message {
+	if n := len(w.freeMsgs); n > 0 {
+		m := w.freeMsgs[n-1]
+		w.freeMsgs = w.freeMsgs[:n-1]
+		return m
+	}
+	return &message{}
+}
+
+// freeMessage recycles a message and its pooled payload snapshot.
+func (w *World) freeMessage(m *message) {
+	if m.data != nil {
+		w.putBuf(m.data)
+	}
+	*m = message{}
+	w.freeMsgs = append(w.freeMsgs, m)
+}
+
+// newRequest pops a zeroed request from the free-list.
+func (w *World) newRequest() *Request {
+	if n := len(w.freeReqs); n > 0 {
+		r := w.freeReqs[n-1]
+		w.freeReqs = w.freeReqs[:n-1]
+		return r
+	}
+	return &Request{}
+}
+
+// freeRequest recycles a completed request. Callers must be done with
+// every field: the handle may be reused by the very next operation.
+func (w *World) freeRequest(r *Request) {
+	*r = Request{}
+	w.freeReqs = append(w.freeReqs, r)
+}
+
+// maxPooledBufs bounds the payload-snapshot pool; beyond it buffers
+// fall back to the garbage collector.
+const maxPooledBufs = 64
+
+// getBuf returns a pooled byte slice of length n (eager and rendezvous
+// payload snapshots are short-lived: injection to receiving Wait).
+func (w *World) getBuf(n int) []byte {
+	if l := len(w.freeBufs); l > 0 {
+		b := w.freeBufs[l-1]
+		if cap(b) >= n {
+			w.freeBufs = w.freeBufs[:l-1]
+			return b[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// putBuf returns a payload snapshot to the pool.
+func (w *World) putBuf(b []byte) {
+	if cap(b) == 0 || len(w.freeBufs) >= maxPooledBufs {
+		return
+	}
+	w.freeBufs = append(w.freeBufs, b)
 }
 
 // rankState is the per-rank message-passing state.

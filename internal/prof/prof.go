@@ -1,0 +1,56 @@
+// Package prof wires Go's runtime/pprof profilers into the command-line
+// tools. Every binary that runs simulations (cmd/beff, cmd/beffio,
+// cmd/robustness, cmd/bench) exposes -cpuprofile and -memprofile flags
+// through these helpers, so a hot-path investigation is always one flag
+// away:
+//
+//	beff -machine t3e -procs 64 -cpuprofile cpu.out
+//	go tool pprof cpu.out
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into the file at path and returns a
+// stop function that must be called (typically deferred) before the
+// process exits. An empty path is a no-op.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap writes an allocation profile to the file at path. It runs a
+// GC first so the profile reflects live heap rather than collection
+// timing. An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prof: create mem profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("prof: write mem profile: %w", err)
+	}
+	return nil
+}

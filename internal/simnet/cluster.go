@@ -48,7 +48,12 @@ type SMPCluster struct {
 	egress  []*Resource
 	ingress []*Resource
 	spine   *Resource
-	scratch []Segment
+
+	// Routes depend only on the (source node, destination node) pair:
+	// intra-node traffic is one bus segment per node, inter-node traffic
+	// egress → (spine) → ingress. Both tables are memoised lazily.
+	intra  [][]Segment     // [node]
+	routes [][]cachedRoute // [srcNode][dstNode]
 }
 
 // NewSMPCluster validates the configuration and builds the resources.
@@ -71,6 +76,8 @@ func NewSMPCluster(cfg SMPClusterConfig) *SMPCluster {
 	if cfg.SpineBandwidth > 0 {
 		c.spine = NewResource("spine", cfg.SpineBandwidth)
 	}
+	c.intra = make([][]Segment, cfg.Nodes)
+	c.routes = make([][]cachedRoute, cfg.Nodes)
 	return c
 }
 
@@ -81,21 +88,32 @@ func (c *SMPCluster) NumProcs() int { return c.cfg.Nodes * c.cfg.ProcsPerNode }
 func (c *SMPCluster) NodeOf(proc int) int { return proc / c.cfg.ProcsPerNode }
 
 // Path routes intra-node messages over the node bus and inter-node
-// messages over egress → (spine) → ingress. The returned slice is
-// reused on the next call.
+// messages over egress → (spine) → ingress. Routes are memoised per
+// node pair; the returned slice is shared and must not be modified.
 func (c *SMPCluster) Path(src, dst int) ([]Segment, des.Duration) {
 	sn, dn := c.NodeOf(src), c.NodeOf(dst)
-	c.scratch = c.scratch[:0]
 	if sn == dn {
-		c.scratch = append(c.scratch, Segment{R: c.bus[sn], Factor: c.cfg.IntraCopies})
-		return c.scratch, c.cfg.IntraLatency
+		if c.intra[sn] == nil {
+			c.intra[sn] = []Segment{{R: c.bus[sn], Factor: c.cfg.IntraCopies}}
+		}
+		return c.intra[sn], c.cfg.IntraLatency
 	}
-	c.scratch = append(c.scratch, Seg(c.egress[sn]))
-	if c.spine != nil {
-		c.scratch = append(c.scratch, Seg(c.spine))
+	row := c.routes[sn]
+	if row == nil {
+		row = make([]cachedRoute, c.cfg.Nodes)
+		c.routes[sn] = row
 	}
-	c.scratch = append(c.scratch, Seg(c.ingress[dn]))
-	return c.scratch, c.cfg.InterLatency
+	e := &row[dn]
+	if !e.ok {
+		segs := make([]Segment, 0, 3)
+		segs = append(segs, Seg(c.egress[sn]))
+		if c.spine != nil {
+			segs = append(segs, Seg(c.spine))
+		}
+		segs = append(segs, Seg(c.ingress[dn]))
+		*e = cachedRoute{segs: segs, lat: c.cfg.InterLatency, ok: true}
+	}
+	return e.segs, e.lat
 }
 
 // Bus exposes a node's memory-bus resource for diagnostics.
@@ -109,10 +127,10 @@ func (c *SMPCluster) Config() SMPClusterConfig { return c.cfg }
 // do not model in detail. Every message crosses only the (optional)
 // shared spine.
 type Crossbar struct {
-	n       int
-	spine   *Resource
-	lat     des.Duration
-	scratch []Segment
+	n         int
+	spine     *Resource
+	lat       des.Duration
+	spineSegs []Segment // the one shared route, precomposed
 }
 
 // NewCrossbar builds an n-port crossbar. aggregateBW, when positive,
@@ -124,6 +142,7 @@ func NewCrossbar(n int, aggregateBW float64, lat des.Duration) *Crossbar {
 	x := &Crossbar{n: n, lat: lat}
 	if aggregateBW > 0 {
 		x.spine = NewResource("xbar", aggregateBW)
+		x.spineSegs = []Segment{Seg(x.spine)}
 	}
 	return x
 }
@@ -131,14 +150,10 @@ func NewCrossbar(n int, aggregateBW float64, lat des.Duration) *Crossbar {
 // NumProcs reports the port count.
 func (x *Crossbar) NumProcs() int { return x.n }
 
-// Path returns the spine (if capped) and the constant latency.
+// Path returns the spine (if capped) and the constant latency. The
+// returned slice is shared and must not be modified.
 func (x *Crossbar) Path(src, dst int) ([]Segment, des.Duration) {
-	if x.spine == nil {
-		return nil, x.lat
-	}
-	x.scratch = x.scratch[:0]
-	x.scratch = append(x.scratch, Seg(x.spine))
-	return x.scratch, x.lat
+	return x.spineSegs, x.lat
 }
 
 // Resources lists the cluster's buses, adapters and spine for

@@ -20,7 +20,11 @@ type FatTree struct {
 	down     [][]*Resource
 	intraLat des.Duration
 	interLat des.Duration
-	scratch  []Segment
+
+	// routes memoises the two-segment cross-leaf route per (source
+	// leaf, destination leaf, uplink) triple — the full route key under
+	// static routing, far smaller than a per-processor-pair table.
+	routes [][]cachedRoute // [srcLeaf][dstLeaf*uplinks+route]
 }
 
 // FatTreeConfig sizes a FatTree.
@@ -55,6 +59,7 @@ func NewFatTree(cfg FatTreeConfig) *FatTree {
 		ft.up = append(ft.up, ups)
 		ft.down = append(ft.down, downs)
 	}
+	ft.routes = make([][]cachedRoute, leaves)
 	return ft
 }
 
@@ -72,17 +77,28 @@ func (ft *FatTree) routeIndex(src, dst int) int {
 }
 
 // Path routes same-leaf traffic directly through the leaf crossbar and
-// cross-leaf traffic over one uplink and one downlink. The returned
-// slice is reused on the next call.
+// cross-leaf traffic over one uplink and one downlink. Routes are
+// memoised; the returned slice is shared and must not be modified.
 func (ft *FatTree) Path(src, dst int) ([]Segment, des.Duration) {
 	sl, dl := ft.LeafOf(src), ft.LeafOf(dst)
 	if sl == dl {
 		return nil, ft.intraLat
 	}
-	ft.scratch = ft.scratch[:0]
 	r := ft.routeIndex(src, dst)
-	ft.scratch = append(ft.scratch, Seg(ft.up[sl][r]), Seg(ft.down[dl][r]))
-	return ft.scratch, ft.interLat
+	row := ft.routes[sl]
+	if row == nil {
+		row = make([]cachedRoute, len(ft.routes)*ft.uplinks)
+		ft.routes[sl] = row
+	}
+	e := &row[dl*ft.uplinks+r]
+	if !e.ok {
+		*e = cachedRoute{
+			segs: []Segment{Seg(ft.up[sl][r]), Seg(ft.down[dl][r])},
+			lat:  ft.interLat,
+			ok:   true,
+		}
+	}
+	return e.segs, e.lat
 }
 
 // Oversubscription reports LeafSize / Uplinks.

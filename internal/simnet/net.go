@@ -54,6 +54,21 @@ type Config struct {
 	OnTransfer func(src, dst int, size int64, start, end des.Time)
 }
 
+// maxPathCacheProcs bounds the processor count up to which per-pair
+// route caches are kept. Above it the quadratic table would dominate
+// memory (rows are lazy, but a full all-to-all touches them all), so
+// larger machines fall back to computing routes per transfer.
+const maxPathCacheProcs = 1024
+
+// cachedRoute is one memoised route: the segment list a transfer books
+// and the propagation latency of the route. The slice is shared between
+// every transfer of the pair and must never be modified.
+type cachedRoute struct {
+	segs []Segment
+	lat  des.Duration
+	ok   bool
+}
+
 // Net is a machine's communication subsystem: NICs plus a routed
 // fabric. All methods must be called from within a des.Engine run (they
 // are not safe for concurrent use, by design: the engine serialises).
@@ -62,6 +77,14 @@ type Net struct {
 	tx   []*Resource
 	rx   []*Resource
 	port []*Resource // nil unless PortBandwidth > 0
+
+	// pathRows memoises the fully composed segment list (NIC, port,
+	// fabric route, port, NIC) and latency per (src,dst) pair. Routing
+	// is static, so the composition is a pure function of the pair; one
+	// full Table-1 run books millions of transfers over the same few
+	// thousand pairs. nil when NumProcs > maxPathCacheProcs.
+	pathRows [][]cachedRoute
+	scratch  []Segment // compose buffer for the uncached fallback
 
 	bytesMoved int64
 	messages   int64
@@ -91,6 +114,9 @@ func New(cfg Config) *Net {
 		for i := 0; i < n; i++ {
 			net.port[i] = NewResource(fmt.Sprintf("port%d", i), cfg.PortBandwidth)
 		}
+	}
+	if n <= maxPathCacheProcs {
+		net.pathRows = make([][]cachedRoute, n)
 	}
 	return net
 }
@@ -158,17 +184,7 @@ func (n *Net) Transfer(src, dst int, size int64, earliest des.Time) (senderFree,
 		}
 		return end, end
 	}
-	path, lat := n.cfg.Fabric.Path(src, dst)
-	segs := make([]Segment, 0, len(path)+4)
-	segs = append(segs, Seg(n.tx[src]))
-	if n.port != nil {
-		segs = append(segs, Seg(n.port[src]))
-	}
-	segs = append(segs, path...)
-	if n.port != nil {
-		segs = append(segs, Seg(n.port[dst]))
-	}
-	segs = append(segs, Seg(n.rx[dst]))
+	segs, lat := n.pathFor(src, dst)
 
 	// An OS-noise detour on the sending CPU delays injection; one on
 	// the receiving CPU delays when the payload is usable.
@@ -185,6 +201,47 @@ func (n *Net) Transfer(src, dst int, size int64, earliest des.Time) (senderFree,
 	return senderFree, arrival
 }
 
+// pathFor returns the composed segment list and route latency for a
+// src→dst transfer, from the per-pair cache when one is kept. The
+// returned slice is shared; callers must only read it.
+func (n *Net) pathFor(src, dst int) ([]Segment, des.Duration) {
+	if n.pathRows == nil {
+		// Too many processors to memoise: compose into the reusable
+		// scratch buffer (consumed synchronously by reserve).
+		path, lat := n.cfg.Fabric.Path(src, dst)
+		n.scratch = n.composeInto(n.scratch[:0], src, dst, path)
+		return n.scratch, lat
+	}
+	row := n.pathRows[src]
+	if row == nil {
+		row = make([]cachedRoute, len(n.pathRows))
+		n.pathRows[src] = row
+	}
+	if e := &row[dst]; e.ok {
+		return e.segs, e.lat
+	}
+	path, lat := n.cfg.Fabric.Path(src, dst)
+	segs := n.composeInto(make([]Segment, 0, len(path)+4), src, dst, path)
+	row[dst] = cachedRoute{segs: segs, lat: lat, ok: true}
+	return segs, lat
+}
+
+// composeInto appends the full resource chain of a transfer — source
+// NIC, memory ports if modelled, the fabric route, destination NIC —
+// to segs and returns it.
+func (n *Net) composeInto(segs []Segment, src, dst int, path []Segment) []Segment {
+	segs = append(segs, Seg(n.tx[src]))
+	if n.port != nil {
+		segs = append(segs, Seg(n.port[src]))
+	}
+	segs = append(segs, path...)
+	if n.port != nil {
+		segs = append(segs, Seg(n.port[dst]))
+	}
+	segs = append(segs, Seg(n.rx[dst]))
+	return segs
+}
+
 // CopyTime reports the cost of a local memory copy of size bytes.
 func (n *Net) CopyTime(size int64) des.Duration {
 	if n.cfg.MemCopyBandwidth <= 0 || size <= 0 {
@@ -199,7 +256,14 @@ func (n *Net) Latency(src, dst int) des.Duration {
 	if src == dst {
 		return n.cfg.SendOverhead + n.cfg.RecvOverhead
 	}
-	_, lat := n.cfg.Fabric.Path(src, dst)
+	var lat des.Duration
+	if n.pathRows != nil {
+		// Rendezvous asks for latency on every message; read it from the
+		// route cache rather than re-deriving the route.
+		_, lat = n.pathFor(src, dst)
+	} else {
+		_, lat = n.cfg.Fabric.Path(src, dst)
+	}
 	return n.cfg.SendOverhead + lat + n.cfg.RecvOverhead
 }
 

@@ -36,6 +36,12 @@ type Resource struct {
 	busySlots []slot
 	floor     des.Time
 
+	// cursor is the index just past the slot the previous reservation
+	// merged into. Reservations arrive in (mostly) nondecreasing virtual
+	// time, so the next search almost always starts here and checks one
+	// slot instead of binary-searching the window.
+	cursor int
+
 	busy  des.Duration // total occupied time, for utilisation reports
 	count int64        // number of reservations
 
@@ -143,31 +149,51 @@ func (r *Resource) reserveAt(desired des.Time, occ des.Duration) des.Time {
 		return desired
 	}
 	start := desired
-	insert := len(r.busySlots)
-	for i, sl := range r.busySlots {
-		if sl.e <= start {
-			continue // slot entirely before our candidate window
+	n := len(r.busySlots)
+	// Find the first slot that can collide — the first whose end lies
+	// after start. Slot starts and ends are both sorted (the list is
+	// disjoint), so binary search applies; the cursor usually answers
+	// without searching at all.
+	lo, hi := 0, n
+	if c := r.cursor; c <= n && (c == 0 || r.busySlots[c-1].e <= start) {
+		lo = c
+		if lo == n || r.busySlots[lo].e > start {
+			hi = lo // cursor hit: the answer is lo itself
 		}
-		if start.Add(occ) <= sl.s {
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if r.busySlots[mid].e <= start {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Walk the (typically zero or one) colliding slots. Every slot from
+	// lo on ends after start, and slot starts are nondecreasing, so the
+	// first gap wide enough wins.
+	insert := n
+	for i := lo; i < n; i++ {
+		if start.Add(occ) <= r.busySlots[i].s {
 			insert = i // fits in the gap before slot i
 			break
 		}
-		start = sl.e // collide: try right after this slot
-		insert = i + 1
+		start = r.busySlots[i].e // collide: try right after this slot
 	}
 	newSlot := slot{start, start.Add(occ)}
 	r.busySlots = append(r.busySlots, slot{})
 	copy(r.busySlots[insert+1:], r.busySlots[insert:])
 	r.busySlots[insert] = newSlot
-	r.mergeAround(insert)
+	r.cursor = r.mergeAround(insert) + 1
 	if len(r.busySlots) > compactThreshold {
 		r.compact()
 	}
 	return start
 }
 
-// mergeAround coalesces the slot at index i with touching neighbours.
-func (r *Resource) mergeAround(i int) {
+// mergeAround coalesces the slot at index i with touching neighbours and
+// returns the index the slot ends up at.
+func (r *Resource) mergeAround(i int) int {
 	// Merge with previous.
 	if i > 0 && r.busySlots[i-1].e >= r.busySlots[i].s {
 		if r.busySlots[i].e > r.busySlots[i-1].e {
@@ -183,6 +209,7 @@ func (r *Resource) mergeAround(i int) {
 		}
 		r.busySlots = append(r.busySlots[:i+1], r.busySlots[i+2:]...)
 	}
+	return i
 }
 
 // compact drops the older half of the window, treating everything
@@ -193,6 +220,10 @@ func (r *Resource) compact() {
 	half := len(r.busySlots) / 2
 	r.floor = r.busySlots[half-1].e
 	r.busySlots = append(r.busySlots[:0], r.busySlots[half:]...)
+	r.cursor -= half
+	if r.cursor < 0 {
+		r.cursor = 0
+	}
 }
 
 // Segment is one resource on a transfer's path together with a byte

@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hpcbench/beff/internal/des"
+)
+
+// TestGapFillAfterCompactRaisesFloor drives enough fragmented bookings
+// to trigger compact(), then asks for a slot in a gap that compaction
+// has swallowed: the request must be clamped to the floor, not booked
+// inside the discarded (now notionally solid) past.
+func TestGapFillAfterCompactRaisesFloor(t *testing.T) {
+	r := NewResource("r", 100*MB)
+	// Alternating 1ms-spaced bookings of ~10µs each leave gaps that
+	// prevent merging, forcing the window past compactThreshold.
+	for i := 0; i < 2*compactThreshold; i++ {
+		r.reserveAt(des.Time(int64(i)*int64(des.Millisecond)), 10*des.Microsecond)
+	}
+	if r.floor == 0 {
+		t.Fatalf("expected compaction to raise the floor, still 0 (slots %d)", len(r.busySlots))
+	}
+	floor := r.floor
+	start := r.reserveAt(0, 10*des.Microsecond)
+	if start < floor {
+		t.Errorf("booking started %v, before the compaction floor %v", start, floor)
+	}
+	// The floor never moves backwards.
+	if r.floor < floor {
+		t.Errorf("floor moved backwards: %v -> %v", floor, r.floor)
+	}
+}
+
+// TestMergeWithBothNeighbours books two slots with a gap exactly the
+// size of a third booking: the filler must coalesce all three into one.
+func TestMergeWithBothNeighbours(t *testing.T) {
+	r := NewResource("r", 100*MB)                                 // 1_000_000 bytes == 10ms
+	r.reserveAt(0, 10*des.Millisecond)                            // [0,10)
+	r.reserveAt(des.Time(20*des.Millisecond), 10*des.Millisecond) // [20,30)
+	if n := len(r.busySlots); n != 2 {
+		t.Fatalf("setup: %d slots, want 2", n)
+	}
+	start := r.reserveAt(des.Time(10*des.Millisecond), 10*des.Millisecond) // fills [10,20)
+	if start != des.Time(10*des.Millisecond) {
+		t.Fatalf("filler start = %v, want 10ms", start)
+	}
+	if n := len(r.busySlots); n != 1 {
+		t.Fatalf("after filling: %d slots, want 1 merged", n)
+	}
+	got := r.busySlots[0]
+	if got.s != 0 || got.e != des.Time(30*des.Millisecond) {
+		t.Errorf("merged slot [%v,%v), want [0,30ms)", got.s, got.e)
+	}
+}
+
+// TestBusySlotsSortedDisjointProperty is a property test: under random
+// reservation sequences — in- and out-of-order desired times, varying
+// occupancies, zero-length requests — the slot list stays sorted,
+// strictly disjoint, at or above the floor, and the cursor stays in
+// range. These are exactly the invariants the binary-search insertion
+// and the monotonic cursor rely on.
+func TestBusySlotsSortedDisjointProperty(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewResource("r", 100*MB)
+		base := des.Time(0)
+		for i := 0; i < 2000; i++ {
+			// Mostly nondecreasing times (the DES pattern), with
+			// occasional jumps backwards into old gaps.
+			if rng.Intn(4) > 0 {
+				base = base.Add(des.Duration(rng.Int63n(int64(des.Millisecond))))
+			}
+			desired := base
+			if rng.Intn(8) == 0 && base > 0 {
+				desired = des.Time(rng.Int63n(int64(base)))
+			}
+			occ := des.Duration(rng.Int63n(int64(100 * des.Microsecond)))
+			if rng.Intn(16) == 0 {
+				occ = 0
+			}
+			start := r.reserveAt(desired, occ)
+			if start < desired && desired >= r.floor {
+				t.Fatalf("seed %d op %d: start %v before desired %v", seed, i, start, desired)
+			}
+			for j, s := range r.busySlots {
+				if s.e <= s.s {
+					t.Fatalf("seed %d op %d: slot %d empty or inverted [%v,%v)", seed, i, j, s.s, s.e)
+				}
+				if s.s < r.floor {
+					t.Fatalf("seed %d op %d: slot %d starts %v before floor %v", seed, i, j, s.s, r.floor)
+				}
+				if j > 0 && r.busySlots[j-1].e >= s.s {
+					t.Fatalf("seed %d op %d: slots %d,%d not disjoint: [..,%v) [%v,..)",
+						seed, i, j-1, j, r.busySlots[j-1].e, s.s)
+				}
+			}
+			if r.cursor < 0 || r.cursor > len(r.busySlots) {
+				t.Fatalf("seed %d op %d: cursor %d out of range [0,%d]", seed, i, r.cursor, len(r.busySlots))
+			}
+		}
+	}
+}

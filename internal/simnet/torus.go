@@ -20,6 +20,10 @@ type Torus3D struct {
 	baseLat des.Duration
 	hopLat  des.Duration
 	scratch []Segment
+
+	// routes memoises the dimension-ordered route per (src,dst) pair;
+	// rows are allocated on first use. nil on tori too large to cache.
+	routes [][]cachedRoute
 }
 
 // NewTorus3D builds a dx × dy × dz torus. linkBW is the bandwidth of
@@ -39,6 +43,9 @@ func NewTorus3D(dx, dy, dz int, linkBW float64, baseLat, hopLat des.Duration) *T
 					fmt.Sprintf("link[n%d,d%d,%+d]", node, dim, dir*2-1), linkBW)
 			}
 		}
+	}
+	if n <= maxPathCacheProcs {
+		t.routes = make([][]cachedRoute, n)
 	}
 	return t
 }
@@ -90,13 +97,34 @@ func (t *Torus3D) HopCount(src, dst int) int {
 }
 
 // Path routes dimension by dimension (x, then y, then z), taking the
-// shortest direction around each ring. The returned slice is reused on
-// the next call.
+// shortest direction around each ring. Routes are memoised per pair;
+// the returned slice is shared and must not be modified (uncached
+// fallback: reused on the next call).
 func (t *Torus3D) Path(src, dst int) ([]Segment, des.Duration) {
 	if src == dst {
 		return nil, t.baseLat
 	}
-	t.scratch = t.scratch[:0]
+	if t.routes != nil {
+		row := t.routes[src]
+		if row == nil {
+			row = make([]cachedRoute, t.nprocs)
+			t.routes[src] = row
+		}
+		if e := &row[dst]; e.ok {
+			return e.segs, e.lat
+		}
+		segs, lat := t.route(nil, src, dst)
+		row[dst] = cachedRoute{segs: segs, lat: lat, ok: true}
+		return segs, lat
+	}
+	var lat des.Duration
+	t.scratch, lat = t.route(t.scratch[:0], src, dst)
+	return t.scratch, lat
+}
+
+// route appends the dimension-ordered link sequence to segs and returns
+// it with the route latency.
+func (t *Torus3D) route(segs []Segment, src, dst int) ([]Segment, des.Duration) {
 	cur := t.coords(src)
 	d := t.coords(dst)
 	hops := 0
@@ -108,12 +136,12 @@ func (t *Torus3D) Path(src, dst int) ([]Segment, des.Duration) {
 				diridx = 1
 			}
 			node := t.node(cur)
-			t.scratch = append(t.scratch, Seg(t.links[(node*3+dim)*2+diridx]))
+			segs = append(segs, Seg(t.links[(node*3+dim)*2+diridx]))
 			cur[dim] = ((cur[dim]+dir)%t.dims[dim] + t.dims[dim]) % t.dims[dim]
 			hops++
 		}
 	}
-	return t.scratch, t.baseLat + des.Duration(hops)*t.hopLat
+	return segs, t.baseLat + des.Duration(hops)*t.hopLat
 }
 
 // BisectionLinks reports the number of unidirectional links crossing the
