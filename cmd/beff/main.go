@@ -8,6 +8,7 @@
 //	beff -machine sr8000-rr -procs 24 -protocol
 //	beff -machine sx5 -procs 4 -csv beff.csv
 //	beff -machine t3e -procs 16 -perturb stormy -seed 3 -reps 3
+//	beff -machine t3e -procs 64 -progress -metrics run.ndjson
 //	beff -list
 package main
 
@@ -15,50 +16,43 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"github.com/hpcbench/beff/internal/check"
+	"github.com/hpcbench/beff/internal/cli"
 	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/des"
 	"github.com/hpcbench/beff/internal/machine"
-	"github.com/hpcbench/beff/internal/perturb"
-	"github.com/hpcbench/beff/internal/prof"
 	"github.com/hpcbench/beff/internal/report"
 	"github.com/hpcbench/beff/internal/trace"
 )
 
 func main() {
+	c := cli.New("beff")
+	c.MachineFlags(nil)
+	c.ConfigFlag(nil)
+	c.SeedFlag(nil, "seed for the random polygons and the -perturb fault schedule")
+	c.RepsFlag(nil, 1, "repetitions per measurement (paper uses 3; matters under -perturb, where timings vary)")
+	c.PerturbFlag(nil, "")
+	c.CheckFlag(nil, false)
+	c.TraceFlag(nil)
+	c.ProfileFlags(nil)
+	c.ObsFlags(nil)
 	var (
-		machineKey = flag.String("machine", "cluster", "machine profile key (see -list)")
-		configPath = flag.String("config", "", "JSON machine definition file (overrides -machine)")
-		procs      = flag.Int("procs", 8, "number of MPI processes")
-		maxLoop    = flag.Int("maxloop", 8, "max looplength (300 = paper-faithful; smaller = faster simulation)")
-		reps       = flag.Int("reps", 1, "repetitions per measurement (paper uses 3; matters under -perturb, where timings vary)")
-		seed       = flag.Int64("seed", 1, "seed for the random polygons and the -perturb fault schedule")
-		perturbArg = flag.String("perturb", "", "fault-injection profile: preset name ("+strings.Join(perturb.Presets(), ", ")+") or JSON file; empty disables perturbation")
-		protocol   = flag.Bool("protocol", false, "print the full measurement protocol")
-		csvPath    = flag.String("csv", "", "write the per-pattern/size/method data as CSV to this file")
-		skampi     = flag.String("skampi", "", "write SKaMPI-comparison-page records to this file")
-		tracePath  = flag.String("trace", "", "write a Chrome trace (chrome://tracing) of every message to this file")
-		hotspots   = flag.Int("hotspots", 0, "print the N busiest network resources after the run")
-		checkRun   = flag.Bool("check", false, "verify runtime invariants (byte conservation, causality, reductions) and fail on violation")
-		list       = flag.Bool("list", false, "list machine profiles and exit")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		maxLoop  = flag.Int("maxloop", 8, "max looplength (300 = paper-faithful; smaller = faster simulation)")
+		protocol = flag.Bool("protocol", false, "print the full measurement protocol")
+		csvPath  = flag.String("csv", "", "write the per-pattern/size/method data as CSV to this file")
+		skampi   = flag.String("skampi", "", "write SKaMPI-comparison-page records to this file")
+		hotspots = flag.Int("hotspots", 0, "print the N busiest network resources after the run")
+		list     = flag.Bool("list", false, "list machine profiles and exit")
 	)
 	flag.Parse()
 
+	c.Validate()
 	switch {
-	case *procs < 1:
-		usageErr("-procs must be >= 1, got %d", *procs)
 	case *maxLoop < 1:
-		usageErr("-maxloop must be >= 1, got %d", *maxLoop)
-	case *reps < 1:
-		usageErr("-reps must be >= 1, got %d", *reps)
-	case *seed < 1:
-		usageErr("-seed must be >= 1, got %d", *seed)
+		c.UsageErr("-maxloop must be >= 1, got %d", *maxLoop)
 	case *hotspots < 0:
-		usageErr("-hotspots must not be negative, got %d", *hotspots)
+		c.UsageErr("-hotspots must not be negative, got %d", *hotspots)
 	}
 
 	if *list {
@@ -68,55 +62,61 @@ func main() {
 		return
 	}
 
-	defer func() { fatal(prof.WriteHeap(*memProfile)) }()
-	stopCPU, err := prof.StartCPU(*cpuProfile)
-	fatal(err)
-	defer stopCPU()
+	stopProf := c.StartProfiling()
+	defer stopProf()
 
-	p, err := loadProfile(*configPath, *machineKey)
-	fatal(err)
-	w, err := p.BuildWorld(*procs)
-	fatal(err)
+	p, err := c.LoadMachine()
+	c.Fatal(err)
+	w, err := p.BuildWorld(c.Procs)
+	c.Fatal(err)
 
-	if *perturbArg != "" {
-		prof, err := perturb.Load(*perturbArg)
-		fatal(err)
-		prof.ApplyNet(w.Net, *seed)
-		fmt.Printf("perturbation: %s (seed %d)\n", prof.Name, *seed)
+	// Every subscriber below — obs instruments, perturbation, trace,
+	// checker — attaches through the composable Observer registrations,
+	// so their relative order does not matter.
+	o := c.StartObs()
+	o.InstrumentWorld(&w)
+	o.InstrumentNet(w.Net)
+
+	pert, err := c.LoadPerturb()
+	c.Fatal(err)
+	if pert != nil {
+		pert.ApplyNet(w.Net, c.Seed)
+		fmt.Printf("perturbation: %s (seed %d)\n", pert.Name, c.Seed)
 	}
 
 	var col *trace.Collector
-	if *tracePath != "" {
+	if c.TracePath != "" {
 		col = trace.New()
-		w.Net.SetOnTransfer(col.OnTransfer)
+		w.Net.Observe(col.OnTransfer)
 	}
 
-	// The checker chains onto whatever hooks are already installed
-	// (trace, perturbation), so it must come after them.
 	var chk *check.Checker
-	if *checkRun {
+	if c.Check {
 		chk = check.New()
 		chk.WatchWorld(&w)
 		chk.WatchNet(w.Net)
 	}
 
+	o.StartTicker()
 	res, err := core.Run(w, core.Options{
 		MemoryPerProc: p.MemoryPerProc,
-		Seed:          *seed,
+		Seed:          c.Seed,
 		MaxLooplength: *maxLoop,
-		Reps:          *reps,
+		Reps:          c.Reps,
 	})
-	fatal(err)
+	c.Fatal(err)
+	o.RecordNetBusy(w.Net, des.Time(des.DurationOf(res.Elapsed)))
+	o.Close()
 
 	if chk != nil {
 		chk.VerifyBeff(res)
-		fatal(chk.Finish())
+		c.Fatal(chk.Finish())
 		fmt.Println("check: all invariants held")
 	}
 
 	fmt.Print(report.Table1([]report.Table1Row{report.FromBeff(p.Name, res)}))
 	fmt.Printf("\nbalance factor b_eff/R_max = %.4f bytes/flop (R_max %.0f GF)\n",
-		res.Beff/(p.RmaxGF(*procs)*1e9), p.RmaxGF(*procs))
+		res.Beff/(p.RmaxGF(c.Procs)*1e9), p.RmaxGF(c.Procs))
 
 	if *protocol {
 		fmt.Println()
@@ -124,16 +124,16 @@ func main() {
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
-		fatal(err)
-		fatal(report.BeffCSV(f, p.Key, res))
-		fatal(f.Close())
+		c.Fatal(err)
+		c.Fatal(report.BeffCSV(f, p.Key, res))
+		c.Fatal(f.Close())
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
 	if *skampi != "" {
 		f, err := os.Create(*skampi)
-		fatal(err)
-		fatal(report.SKaMPIBeff(f, p.Key, res))
-		fatal(f.Close())
+		c.Fatal(err)
+		c.Fatal(report.SKaMPIBeff(f, p.Key, res))
+		c.Fatal(f.Close())
 		fmt.Printf("wrote %s\n", *skampi)
 	}
 	if *hotspots > 0 {
@@ -142,31 +142,10 @@ func main() {
 		fmt.Print(report.UtilizationTable(stats))
 	}
 	if col != nil {
-		f, err := os.Create(*tracePath)
-		fatal(err)
-		fatal(col.WriteChromeTrace(f))
-		fatal(f.Close())
-		fmt.Printf("wrote %s (%s)\n", *tracePath, col.Summarize())
+		f, err := os.Create(c.TracePath)
+		c.Fatal(err)
+		c.Fatal(col.WriteChromeTrace(f))
+		c.Fatal(f.Close())
+		fmt.Printf("wrote %s (%s)\n", c.TracePath, col.Summarize())
 	}
-}
-
-// loadProfile resolves either a JSON definition or a built-in key.
-func loadProfile(configPath, key string) (*machine.Profile, error) {
-	if configPath != "" {
-		return machine.LoadConfig(configPath)
-	}
-	return machine.Lookup(key)
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "beff:", err)
-		os.Exit(1)
-	}
-}
-
-func usageErr(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "beff: %s\n", fmt.Sprintf(format, args...))
-	flag.Usage()
-	os.Exit(2)
 }

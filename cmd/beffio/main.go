@@ -9,6 +9,7 @@
 //	beffio -machine sx5 -procs 4 -csv io.csv
 //	beffio -machine sp -sweep 8,16,32,64
 //	beffio -machine sp -procs 8 -perturb io-hiccup -seed 3 -reps 3
+//	beffio -machine sp -procs 16 -progress -metrics io.ndjson
 package main
 
 import (
@@ -20,68 +21,57 @@ import (
 
 	"github.com/hpcbench/beff/internal/beffio"
 	"github.com/hpcbench/beff/internal/check"
+	"github.com/hpcbench/beff/internal/cli"
 	"github.com/hpcbench/beff/internal/des"
-	"github.com/hpcbench/beff/internal/machine"
 	"github.com/hpcbench/beff/internal/mpi"
 	"github.com/hpcbench/beff/internal/mpiio"
 	"github.com/hpcbench/beff/internal/perturb"
-	"github.com/hpcbench/beff/internal/prof"
 	"github.com/hpcbench/beff/internal/report"
 	"github.com/hpcbench/beff/internal/simfs"
 	"github.com/hpcbench/beff/internal/stats"
 )
 
 func main() {
+	c := cli.New("beffio")
+	c.MachineFlags(nil)
+	c.ConfigFlag(nil)
+	c.SeedFlag(nil, "seed for the -perturb fault schedule")
+	c.RepsFlag(nil, 1, "repetitions of the whole benchmark; with -perturb each uses an independently derived seed and the maximum is reported")
+	c.PerturbFlag(nil, "")
+	c.CheckFlag(nil, false)
+	c.ProfileFlags(nil)
+	c.ObsFlags(nil)
 	var (
-		machineKey = flag.String("machine", "cluster", "machine profile key (must have an I/O model)")
-		configPath = flag.String("config", "", "JSON machine definition file (overrides -machine)")
-		procs      = flag.Int("procs", 8, "number of I/O processes")
-		tSecs      = flag.Float64("T", 60, "scheduled time per partition in virtual seconds (paper: >= 900)")
-		geometric  = flag.Bool("geometric", false, "use geometric termination batching (the paper's §5.4 proposal)")
-		noCB       = flag.Bool("no-collective-buffering", false, "disable two-phase collective I/O (ablation)")
-		skipType3  = flag.Bool("skip-type3", false, "omit pattern type 3, as parts of the paper's own data do")
-		randomExt  = flag.Bool("random", false, "also measure the §6 random-access extension (reported separately)")
-		bgLoad     = flag.Float64("load", 0, "background I/O load fraction [0,1): non-dedicated-system mode")
-		detail     = flag.Bool("detail", false, "print the per-pattern protocol and Fig.-4-style chart")
-		csvPath    = flag.String("csv", "", "write the detail protocol as CSV to this file")
-		sweep      = flag.String("sweep", "", "comma-separated partition sizes; runs each and reports the system maximum")
-		maxReps    = flag.Int("maxreps", 1<<14, "cap repetitions per pattern (bounds simulation cost)")
-		perturbArg = flag.String("perturb", "", "fault-injection profile: preset name ("+strings.Join(perturb.Presets(), ", ")+") or JSON file; empty disables perturbation")
-		seed       = flag.Int64("seed", 1, "seed for the -perturb fault schedule")
-		reps       = flag.Int("reps", 1, "repetitions of the whole benchmark; with -perturb each uses an independently derived seed and the maximum is reported")
-		checkRun   = flag.Bool("check", false, "verify runtime invariants (byte conservation, causality, reductions) and fail on violation")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		tSecs     = flag.Float64("T", 60, "scheduled time per partition in virtual seconds (paper: >= 900)")
+		geometric = flag.Bool("geometric", false, "use geometric termination batching (the paper's §5.4 proposal)")
+		noCB      = flag.Bool("no-collective-buffering", false, "disable two-phase collective I/O (ablation)")
+		skipType3 = flag.Bool("skip-type3", false, "omit pattern type 3, as parts of the paper's own data do")
+		randomExt = flag.Bool("random", false, "also measure the §6 random-access extension (reported separately)")
+		bgLoad    = flag.Float64("load", 0, "background I/O load fraction [0,1): non-dedicated-system mode")
+		detail    = flag.Bool("detail", false, "print the per-pattern protocol and Fig.-4-style chart")
+		csvPath   = flag.String("csv", "", "write the detail protocol as CSV to this file")
+		sweep     = flag.String("sweep", "", "comma-separated partition sizes; runs each and reports the system maximum")
+		maxReps   = flag.Int("maxreps", 1<<14, "cap repetitions per pattern (bounds simulation cost)")
 	)
 	flag.Parse()
 
+	c.Validate()
 	switch {
-	case *procs < 1:
-		usageErr("-procs must be >= 1, got %d", *procs)
 	case *tSecs <= 0:
-		usageErr("-T must be positive, got %v", *tSecs)
+		c.UsageErr("-T must be positive, got %v", *tSecs)
 	case *bgLoad < 0 || *bgLoad >= 1:
-		usageErr("-load must be in [0,1), got %v", *bgLoad)
+		c.UsageErr("-load must be in [0,1), got %v", *bgLoad)
 	case *maxReps < 1:
-		usageErr("-maxreps must be >= 1, got %d", *maxReps)
-	case *reps < 1:
-		usageErr("-reps must be >= 1, got %d", *reps)
-	case *seed < 1:
-		usageErr("-seed must be >= 1, got %d", *seed)
+		c.UsageErr("-maxreps must be >= 1, got %d", *maxReps)
 	}
 
-	defer func() { fatal(prof.WriteHeap(*memProfile)) }()
-	stopCPU, err := prof.StartCPU(*cpuProfile)
-	fatal(err)
-	defer stopCPU()
+	stopProf := c.StartProfiling()
+	defer stopProf()
 
-	var p *machine.Profile
-	if *configPath != "" {
-		p, err = machine.LoadConfig(*configPath)
-	} else {
-		p, err = machine.Lookup(*machineKey)
-	}
-	fatal(err)
+	p, err := c.LoadMachine()
+	c.Fatal(err)
+
+	o := c.StartObs()
 
 	opt := beffio.Options{
 		T:                   des.DurationOf(*tSecs),
@@ -94,17 +84,20 @@ func main() {
 	if *skipType3 {
 		opt.SkipTypes = []beffio.PatternType{beffio.Segmented}
 	}
+	o.InstrumentIO(&opt.Info)
 
-	var pert *perturb.Profile
-	if *perturbArg != "" {
-		pert, err = perturb.Load(*perturbArg)
-		fatal(err)
-		fmt.Printf("perturbation: %s (seed %d)\n", pert.Name, *seed)
+	pert, err := c.LoadPerturb()
+	c.Fatal(err)
+	if pert != nil {
+		fmt.Printf("perturbation: %s (seed %d)\n", pert.Name, c.Seed)
 	}
 
-	// setupWith builds the per-run world; the perturbation profile is
-	// applied inside the closure so every fresh world of a -sweep or
-	// -reps run gets the fault schedule for its own seed.
+	// setupWith builds the per-run world; the perturbation profile and
+	// the obs instruments are applied inside the closure so every fresh
+	// world of a -sweep or -reps run gets the fault schedule for its
+	// own seed and accumulates into the shared registry. All of them
+	// attach through composable Observer registrations, so their order
+	// does not matter.
 	setupWith := func(perturbSeed int64) func(int) (mpi.WorldConfig, *simfs.FS, error) {
 		return func(n int) (mpi.WorldConfig, *simfs.FS, error) {
 			w, err := p.BuildIOWorld(n)
@@ -120,47 +113,52 @@ func main() {
 			if err != nil {
 				return mpi.WorldConfig{}, nil, err
 			}
+			o.InstrumentWorld(&w)
+			o.InstrumentNet(w.Net)
+			o.InstrumentFS(fs)
 			pert.Apply(w.Net, fs, perturbSeed)
 			return w, fs, nil
 		}
 	}
 
 	// runOne executes the benchmark once, with the full invariant watch
-	// set installed when -check is on (chained after the perturbation,
-	// which is applied by setupWith inside the world builder).
+	// set installed when -check is on.
 	runOne := func(w mpi.WorldConfig, fs *simfs.FS) (*beffio.Result, error) {
-		if !*checkRun {
+		if !c.Check {
 			return beffio.Run(w, fs, opt)
 		}
-		c := check.New()
-		c.WatchWorld(&w)
-		c.WatchNet(w.Net)
-		c.WatchFS(fs)
+		chk := check.New()
+		chk.WatchWorld(&w)
+		chk.WatchNet(w.Net)
+		chk.WatchFS(fs)
 		res, err := beffio.Run(w, fs, opt)
 		if err != nil {
 			return nil, err
 		}
-		c.VerifyBeffIO(res)
-		if err := c.Finish(); err != nil {
+		chk.VerifyBeffIO(res)
+		if err := chk.Finish(); err != nil {
 			return nil, err
 		}
 		return res, nil
 	}
 
+	o.StartTicker()
+
 	if *sweep != "" {
 		sizes, err := parseSizes(*sweep)
-		fatal(err)
-		results, err := beffio.Sweep(setupWith(*seed), sizes, opt)
-		fatal(err)
-		if *checkRun {
+		c.Fatal(err)
+		results, err := beffio.Sweep(setupWith(c.Seed), sizes, opt)
+		o.Close()
+		c.Fatal(err)
+		if c.Check {
 			// The sweep builds its worlds internally, so the runtime
 			// watches cannot chain in; the result-level invariants still
 			// hold for every partition.
-			c := check.New()
+			chk := check.New()
 			for _, r := range results {
-				c.VerifyBeffIO(r)
+				chk.VerifyBeffIO(r)
 			}
-			fatal(c.Finish())
+			c.Fatal(chk.Finish())
 			fmt.Println("check: all result invariants held")
 		}
 		series := report.Series{Name: p.Name, Points: map[int]float64{}}
@@ -174,34 +172,40 @@ func main() {
 		return
 	}
 
-	if *reps > 1 {
+	if c.Reps > 1 {
 		// Whole-benchmark repetitions: each runs against a fresh world
 		// and filesystem under an independently derived fault-schedule
 		// seed, and the maximum over repetitions is reported (the
 		// paper's rule for repeated measurements).
-		values := make([]float64, 0, *reps)
-		for r := 0; r < *reps; r++ {
-			rs := perturb.RepSeed(*seed, r)
-			w, fs, err := setupWith(rs)(*procs)
-			fatal(err)
+		values := make([]float64, 0, c.Reps)
+		lines := make([]string, 0, c.Reps)
+		for r := 0; r < c.Reps; r++ {
+			rs := perturb.RepSeed(c.Seed, r)
+			w, fs, err := setupWith(rs)(c.Procs)
+			c.Fatal(err)
 			res, err := runOne(w, fs)
-			fatal(err)
+			c.Fatal(err)
 			values = append(values, res.BeffIO)
-			fmt.Printf("rep %2d (seed %20d): b_eff_io = %9.1f MB/s\n", r, rs, res.BeffIO/1e6)
+			lines = append(lines, fmt.Sprintf("rep %2d (seed %20d): b_eff_io = %9.1f MB/s", r, rs, res.BeffIO/1e6))
+		}
+		o.Close()
+		for _, l := range lines {
+			fmt.Println(l)
 		}
 		s := stats.Describe(values...)
 		fmt.Printf("\nmin / median / max = %.1f / %.1f / %.1f MB/s   mean %.1f   CV %.2f%%\n",
 			s.Min/1e6, s.Median/1e6, s.Max/1e6, s.Mean/1e6, 100*s.CV)
 		fmt.Printf("reported b_eff_io (max over %d repetitions) = %.1f MB/s (%d processes, T = %v)\n",
-			*reps, s.Max/1e6, *procs, opt.T)
+			c.Reps, s.Max/1e6, c.Procs, opt.T)
 		return
 	}
 
-	w, fs, err := setupWith(*seed)(*procs)
-	fatal(err)
+	w, fs, err := setupWith(c.Seed)(c.Procs)
+	c.Fatal(err)
 	res, err := runOne(w, fs)
-	fatal(err)
-	if *checkRun {
+	o.Close()
+	c.Fatal(err)
+	if c.Check {
 		fmt.Println("check: all invariants held")
 	}
 
@@ -225,9 +229,9 @@ func main() {
 	}
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
-		fatal(err)
-		fatal(report.BeffIOCSV(f, p.Key, res))
-		fatal(f.Close())
+		c.Fatal(err)
+		c.Fatal(report.BeffIOCSV(f, p.Key, res))
+		c.Fatal(f.Close())
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
 }
@@ -242,17 +246,4 @@ func parseSizes(s string) ([]int, error) {
 		out = append(out, n)
 	}
 	return out, nil
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "beffio:", err)
-		os.Exit(1)
-	}
-}
-
-func usageErr(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "beffio: %s\n", fmt.Sprintf(format, args...))
-	flag.Usage()
-	os.Exit(2)
 }

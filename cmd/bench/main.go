@@ -27,10 +27,10 @@ import (
 	"time"
 
 	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/cli"
 	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/des"
 	"github.com/hpcbench/beff/internal/machine"
-	"github.com/hpcbench/beff/internal/prof"
 )
 
 // CellResult is the measured cost of one benchmark cell.
@@ -49,7 +49,7 @@ type Report struct {
 	Generated string                `json:"generated"`
 	GoVersion string                `json:"go_version"`
 	Quick     bool                  `json:"quick,omitempty"`
-	PeakRSSKB int64                 `json:"peak_rss_kb"`
+	PeakRSSKB int64                 `json:"peak_rss_kb,omitempty"` // omitted where getrusage is unavailable
 	Cells     []CellResult          `json:"cells"`
 	Baseline  []CellResult          `json:"baseline,omitempty"`
 	BaseRSSKB int64                 `json:"baseline_peak_rss_kb,omitempty"`
@@ -168,22 +168,22 @@ func measure(c cell, iters int) (CellResult, error) {
 }
 
 func main() {
+	c := cli.New("bench")
+	c.ProfileFlags(nil)
 	var (
-		quick      = flag.Bool("quick", false, "small cells for CI smoke runs")
-		iters      = flag.Int("iters", 3, "repetitions per cell (best wall time counts)")
-		out        = flag.String("o", "BENCH_core.json", "output JSON path ('-' for stdout only)")
-		baseline   = flag.String("baseline", "", "prior bench JSON to embed and compute speedups against")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the cells to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile after the cells to this file")
+		quick    = flag.Bool("quick", false, "small cells for CI smoke runs")
+		iters    = flag.Int("iters", 3, "repetitions per cell (best wall time counts)")
+		out      = flag.String("o", "BENCH_core.json", "output JSON path ('-' for stdout only)")
+		baseline = flag.String("baseline", "", "prior bench JSON to embed and compute speedups against")
 	)
 	flag.Parse()
+	c.Validate()
 	if *iters < 1 {
-		fmt.Fprintln(os.Stderr, "bench: -iters must be >= 1")
-		os.Exit(2)
+		c.UsageErr("-iters must be >= 1, got %d", *iters)
 	}
 
-	stop, err := prof.StartCPU(*cpuprofile)
-	fatal(err)
+	fatal := c.Fatal
+	stopProf := c.StartProfiling()
 
 	rep := Report{
 		Generated: time.Now().UTC().Format(time.RFC3339),
@@ -197,8 +197,7 @@ func main() {
 			r.Name, r.Ops, r.NsPerOp, r.AllocsPerA, r.BytesPerOp, r.WallSec, r.HeadlineMB)
 		rep.Cells = append(rep.Cells, r)
 	}
-	stop()
-	fatal(prof.WriteHeap(*memprofile))
+	stopProf()
 	rep.PeakRSSKB = peakRSSKB()
 
 	if *baseline != "" {
@@ -231,12 +230,9 @@ func main() {
 		return
 	}
 	fatal(os.WriteFile(*out, data, 0o644))
-	fmt.Printf("wrote %s (peak RSS %d kB)\n", *out, rep.PeakRSSKB)
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+	if rep.PeakRSSKB > 0 {
+		fmt.Printf("wrote %s (peak RSS %d kB)\n", *out, rep.PeakRSSKB)
+	} else {
+		fmt.Printf("wrote %s\n", *out)
 	}
 }

@@ -2,5 +2,7 @@
 
 package main
 
-// peakRSSKB is unavailable on this platform.
+// peakRSSKB is unavailable on this platform. Zero means "unknown":
+// the report omits the field (and the summary line the number) rather
+// than publishing a misleading 0 kB peak.
 func peakRSSKB() int64 { return 0 }

@@ -17,6 +17,7 @@
 //	robustness -machine t3e -procs 16 -reps 8 -perturb stormy
 //	robustness -machine sp -procs 8 -reps 5 -perturb os-noise -seed 7
 //	robustness -machine sp -procs 8 -io -perturb io-hiccup -T 30
+//	robustness -machine t3e -procs 16 -reps 32 -progress -debug-addr localhost:6060
 //	robustness -list-presets
 package main
 
@@ -29,31 +30,30 @@ import (
 
 	"github.com/hpcbench/beff/internal/beffio"
 	"github.com/hpcbench/beff/internal/check"
+	"github.com/hpcbench/beff/internal/cli"
 	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/des"
-	"github.com/hpcbench/beff/internal/machine"
 	"github.com/hpcbench/beff/internal/perturb"
-	"github.com/hpcbench/beff/internal/prof"
 	"github.com/hpcbench/beff/internal/runner"
 )
 
 func main() {
+	c := cli.New("robustness")
+	c.MachineFlags(nil)
+	c.SeedFlag(nil, "base seed; repetition r runs under RepSeed(seed, r)")
+	c.RepsFlag(nil, 5, "independent perturbed repetitions")
+	c.PerturbFlag(nil, "stormy")
+	c.CheckFlag(nil, true)
+	c.ProfileFlags(nil)
+	c.ObsFlags(nil)
 	var (
-		machineKey  = flag.String("machine", "cluster", "machine profile key")
-		procs       = flag.Int("procs", 8, "number of MPI / I/O processes")
-		reps        = flag.Int("reps", 5, "independent perturbed repetitions")
-		perturbArg  = flag.String("perturb", "stormy", "perturbation profile: preset name or JSON file")
-		seed        = flag.Int64("seed", 1, "base seed; repetition r runs under RepSeed(seed, r)")
 		maxLoop     = flag.Int("maxloop", 8, "b_eff: max looplength")
 		innerReps   = flag.Int("inner-reps", 3, "b_eff: in-run repetitions per measurement (the paper's 3)")
 		ioBench     = flag.Bool("io", false, "measure b_eff_io instead of b_eff")
 		tSecs       = flag.Float64("T", 60, "b_eff_io: scheduled time per partition in virtual seconds")
 		baseline    = flag.Bool("baseline", true, "also run the unperturbed cell for comparison")
 		csvPath     = flag.String("csv", "", "write per-repetition values as CSV to this file")
-		checkRun    = flag.Bool("check", false, "verify result invariants (reductions, statistics) and fail on violation")
 		listPresets = flag.Bool("list-presets", false, "list built-in perturbation presets and exit")
-		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	rf := &runner.Flags{}
 	rf.Register(flag.CommandLine)
@@ -67,97 +67,99 @@ func main() {
 		}
 		return
 	}
+	c.Validate()
 	switch {
-	case *procs < 1:
-		usageErr("-procs must be >= 1, got %d", *procs)
-	case *reps < 1:
-		usageErr("-reps must be >= 1, got %d", *reps)
-	case *seed < 1:
-		usageErr("-seed must be >= 1, got %d", *seed)
 	case *maxLoop < 1:
-		usageErr("-maxloop must be >= 1, got %d", *maxLoop)
+		c.UsageErr("-maxloop must be >= 1, got %d", *maxLoop)
 	case *innerReps < 1:
-		usageErr("-inner-reps must be >= 1, got %d", *innerReps)
+		c.UsageErr("-inner-reps must be >= 1, got %d", *innerReps)
 	case *tSecs <= 0:
-		usageErr("-T must be positive, got %v", *tSecs)
+		c.UsageErr("-T must be positive, got %v", *tSecs)
 	}
 
-	defer func() { fatal(prof.WriteHeap(*memProfile)) }()
-	stopCPU, err := prof.StartCPU(*cpuProfile)
-	fatal(err)
-	defer stopCPU()
+	stopProf := c.StartProfiling()
+	defer stopProf()
 
-	pert, err := perturb.Load(*perturbArg)
-	fatal(err)
-	p, err := machine.Lookup(*machineKey)
-	fatal(err)
+	pert, err := perturb.Load(c.Perturb)
+	c.Fatal(err)
+	p, err := c.LoadMachine()
+	c.Fatal(err)
+
+	// The harness watches the sweep from the outside: runner cell
+	// counts, cache hits and worker occupancy (the cells build their
+	// worlds inside the cache boundary, so per-message instruments stay
+	// off and cached and uncached runs stay byte-identical).
+	o := c.StartObs()
+	sweepOpt := o.SweepOptions(rf.Options("robustness"))
 
 	var bench string
 	var values []float64
 	var base float64
 	var chk *check.Checker
-	if *checkRun {
+	if c.Check {
 		chk = check.New()
 	}
 	if *ioBench {
 		bench = "b_eff_io"
 		opt := beffio.Options{T: des.DurationOf(*tSecs), MPart: p.MPart()}
-		cells := make([]runner.Cell[*beffio.Result], 0, *reps+1)
-		for r := 0; r < *reps; r++ {
-			cells = append(cells, runner.RobustBeffIOCell(*machineKey, *procs, opt, pert, *seed, r))
+		cells := make([]runner.Cell[*beffio.Result], 0, c.Reps+1)
+		for r := 0; r < c.Reps; r++ {
+			cells = append(cells, runner.RobustBeffIOCell(c.Machine, c.Procs, opt, pert, c.Seed, r))
 		}
 		if *baseline {
-			cells = append(cells, runner.RobustBeffIOCell(*machineKey, *procs, opt, nil, 0, 0))
+			cells = append(cells, runner.RobustBeffIOCell(c.Machine, c.Procs, opt, nil, 0, 0))
 		}
-		results := runner.Sweep(cells, rf.Options("robustness"))
-		fatal(runner.Err(results))
+		results := runner.Sweep(cells, sweepOpt)
+		o.Close()
+		c.Fatal(runner.Err(results))
 		for _, r := range results {
 			if chk != nil {
 				chk.VerifyBeffIO(r.Value)
 			}
 		}
-		for r := 0; r < *reps; r++ {
+		for r := 0; r < c.Reps; r++ {
 			values = append(values, results[r].Value.BeffIO)
 		}
 		if *baseline {
-			base = results[*reps].Value.BeffIO
+			base = results[c.Reps].Value.BeffIO
 		}
 	} else {
 		bench = "b_eff"
 		opt := core.Options{MemoryPerProc: p.MemoryPerProc, MaxLooplength: *maxLoop, Reps: *innerReps}
-		cells := make([]runner.Cell[*core.Result], 0, *reps+1)
-		for r := 0; r < *reps; r++ {
-			cells = append(cells, runner.RobustBeffCell(*machineKey, *procs, opt, pert, *seed, r))
+		cells := make([]runner.Cell[*core.Result], 0, c.Reps+1)
+		for r := 0; r < c.Reps; r++ {
+			cells = append(cells, runner.RobustBeffCell(c.Machine, c.Procs, opt, pert, c.Seed, r))
 		}
 		if *baseline {
-			cells = append(cells, runner.RobustBeffCell(*machineKey, *procs, opt, nil, 0, 0))
+			cells = append(cells, runner.RobustBeffCell(c.Machine, c.Procs, opt, nil, 0, 0))
 		}
-		results := runner.Sweep(cells, rf.Options("robustness"))
-		fatal(runner.Err(results))
+		results := runner.Sweep(cells, sweepOpt)
+		o.Close()
+		c.Fatal(runner.Err(results))
 		for _, r := range results {
 			if chk != nil {
 				chk.VerifyBeff(r.Value)
 			}
 		}
-		for r := 0; r < *reps; r++ {
+		for r := 0; r < c.Reps; r++ {
 			values = append(values, results[r].Value.Beff)
 		}
 		if *baseline {
-			base = results[*reps].Value.Beff
+			base = results[c.Reps].Value.Beff
 		}
 	}
 
 	rob := runner.SummarizeReps(values)
 	if chk != nil {
 		chk.VerifyRobustness(rob)
-		fatal(chk.Finish())
+		c.Fatal(chk.Finish())
 		fmt.Println("check: all result invariants held")
 	}
 	fmt.Printf("robustness of %s on %s @ %d procs — profile %q, base seed %d, %d repetitions\n",
-		bench, p.Name, *procs, pert.Name, *seed, *reps)
+		bench, p.Name, c.Procs, pert.Name, c.Seed, c.Reps)
 	fmt.Printf("%4s  %20s  %12s\n", "rep", "seed", bench+" MB/s")
 	for r, v := range values {
-		fmt.Printf("%4d  %20d  %12.1f\n", r, perturb.RepSeed(*seed, r), v/1e6)
+		fmt.Printf("%4d  %20d  %12.1f\n", r, perturb.RepSeed(c.Seed, r), v/1e6)
 	}
 	s := rob.Summary
 	fmt.Printf("\nmin / median / max = %.1f / %.1f / %.1f MB/s   mean %.1f   CV %.2f%%\n",
@@ -170,30 +172,17 @@ func main() {
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
-		fatal(err)
+		c.Fatal(err)
 		w := csv.NewWriter(f)
-		fatal(w.Write([]string{"machine", "bench", "profile", "rep", "seed", "value_bytes_per_s"}))
+		c.Fatal(w.Write([]string{"machine", "bench", "profile", "rep", "seed", "value_bytes_per_s"}))
 		for r, v := range values {
-			fatal(w.Write([]string{*machineKey, bench, pert.Name, strconv.Itoa(r),
-				strconv.FormatInt(perturb.RepSeed(*seed, r), 10),
+			c.Fatal(w.Write([]string{c.Machine, bench, pert.Name, strconv.Itoa(r),
+				strconv.FormatInt(perturb.RepSeed(c.Seed, r), 10),
 				strconv.FormatFloat(v, 'g', -1, 64)}))
 		}
 		w.Flush()
-		fatal(w.Error())
-		fatal(f.Close())
+		c.Fatal(w.Error())
+		c.Fatal(f.Close())
 		fmt.Printf("wrote %s\n", *csvPath)
 	}
-}
-
-func fatal(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "robustness:", err)
-		os.Exit(1)
-	}
-}
-
-func usageErr(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "robustness: %s\n", fmt.Sprintf(format, args...))
-	flag.Usage()
-	os.Exit(2)
 }

@@ -8,9 +8,10 @@ import (
 )
 
 // FSWatch is the I/O-server conservation ledger. It observes every
-// disk operation through simfs's OnServerOp hook (chaining any
-// observer already installed) and, at Checker.Finish, cross-checks the
-// per-server totals against the filesystem's own traffic counters.
+// disk operation through simfs's composable ObserveServerOps
+// registration (coexisting with trace and obs subscribers) and, at
+// Checker.Finish, cross-checks the per-server totals against the
+// filesystem's own traffic counters.
 //
 // Writes must balance exactly: every byte the filesystem accepts hits
 // a server disk exactly once (write-behind only defers, never
@@ -27,19 +28,13 @@ type FSWatch struct {
 	read    []int64 // per-server disk bytes read
 }
 
-// WatchFS installs an FSWatch on the filesystem. Call it after any
-// other observer (trace collection, perturbation) is set up and before
-// the simulation runs.
+// WatchFS installs an FSWatch on the filesystem. Registration order
+// relative to other observers does not matter; call before the
+// simulation runs.
 func (c *Checker) WatchFS(fs *simfs.FS) *FSWatch {
 	n := fs.Config().Servers
 	w := &FSWatch{c: c, fs: fs, servers: n, written: make([]int64, n), read: make([]int64, n)}
-	prev := fs.Config().OnServerOp
-	fs.SetOnServerOp(func(server int, write bool, bytes int64, start, end des.Time) {
-		w.ObserveServerOp(server, write, bytes, start, end)
-		if prev != nil {
-			prev(server, write, bytes, start, end)
-		}
-	})
+	fs.ObserveServerOps(w.ObserveServerOp)
 	c.onFinish(w.verify)
 	return w
 }

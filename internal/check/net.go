@@ -8,12 +8,13 @@ import (
 )
 
 // NetWatch is the network-level conservation ledger. It observes every
-// transfer through simnet's OnTransfer hook (chaining any observer
-// already installed, so it composes with a trace collector) and, at
-// Checker.Finish, cross-checks its own totals against the Net's
-// internal byte and message counters: every transfer the fabric
-// accounts for must have been announced to the observers, and vice
-// versa. While the run is live it asserts per-transfer causality.
+// transfer through simnet's composable Observe registration (so it
+// coexists with a trace collector or obs instrumentation without
+// chaining) and, at Checker.Finish, cross-checks its own totals
+// against the Net's internal byte and message counters: every
+// transfer the fabric accounts for must have been announced to the
+// observers, and vice versa. While the run is live it asserts
+// per-transfer causality.
 type NetWatch struct {
 	c     *Checker
 	net   *simnet.Net
@@ -24,18 +25,12 @@ type NetWatch struct {
 	msgs  int64
 }
 
-// WatchNet installs a NetWatch on the network. Call it after any other
-// observer (trace collection, perturbation) is set up and before the
+// WatchNet installs a NetWatch on the network. Registration order
+// relative to other observers does not matter; call before the
 // simulation runs.
 func (c *Checker) WatchNet(net *simnet.Net) *NetWatch {
 	w := &NetWatch{c: c, net: net, procs: net.NumProcs()}
-	prev := net.Config().OnTransfer
-	net.SetOnTransfer(func(src, dst int, size int64, start, end des.Time) {
-		w.ObserveTransfer(src, dst, size, start, end)
-		if prev != nil {
-			prev(src, dst, size, start, end)
-		}
-	})
+	net.Observe(w.ObserveTransfer)
 	c.onFinish(w.verify)
 	return w
 }

@@ -1,0 +1,103 @@
+package check_test
+
+// Golden-corpus byte-invisibility: the observability acceptance
+// criterion says the corpus must pass byte-exactly with metrics both
+// enabled and disabled. The plain golden tests cover "disabled"; these
+// runs re-execute the same cells with the full instrument set (and, for
+// b_eff, a trace subscriber on top) bound through the Observer API and
+// compare against the same golden files — no -update path, by design.
+
+import (
+	"testing"
+
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/check"
+	"github.com/hpcbench/beff/internal/cli"
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/obs"
+	"github.com/hpcbench/beff/internal/trace"
+)
+
+func TestGoldenBeffWithObservability(t *testing.T) {
+	for _, key := range goldenMachines {
+		t.Run(key, func(t *testing.T) {
+			p, err := machine.Lookup(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := p.BuildWorld(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := cli.NewObs(obs.New())
+			o.InstrumentWorld(&w)
+			o.InstrumentNet(w.Net)
+			col := trace.New()
+			w.Net.Observe(col.OnTransfer)
+			c := check.New()
+			c.WatchWorld(&w)
+			c.WatchNet(w.Net)
+			res, err := core.Run(w, goldenBeffOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.VerifyBeff(res)
+			if err := c.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if snap := o.Reg.Snapshot(); len(snap.Samples) == 0 {
+				t.Fatal("instruments recorded nothing — the run was not observed")
+			}
+			if *update {
+				t.Skip("golden corpus is blessed by the uninstrumented runs only")
+			}
+			goldenCompare(t, "beff_"+key+".json", res)
+		})
+	}
+}
+
+func TestGoldenBeffIOWithObservability(t *testing.T) {
+	for _, key := range goldenMachines {
+		t.Run(key, func(t *testing.T) {
+			p, err := machine.Lookup(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := p.BuildIOWorld(4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, err := p.BuildFS()
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := cli.NewObs(obs.New())
+			o.InstrumentWorld(&w)
+			o.InstrumentNet(w.Net)
+			o.InstrumentFS(fs)
+			opt := beffio.Options{T: des.DurationOf(0.5), MPart: p.MPart()}
+			o.InstrumentIO(&opt.Info)
+			c := check.New()
+			c.WatchWorld(&w)
+			c.WatchNet(w.Net)
+			c.WatchFS(fs)
+			res, err := beffio.Run(w, fs, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.VerifyBeffIO(res)
+			if err := c.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			if s, ok := o.Reg.Snapshot().Get("mpiio_collective_ops_total"); !ok || s.Value == 0 {
+				t.Fatal("collective-I/O instruments recorded nothing")
+			}
+			if *update {
+				t.Skip("golden corpus is blessed by the uninstrumented runs only")
+			}
+			goldenCompare(t, "beffio_"+key+".json", res)
+		})
+	}
+}

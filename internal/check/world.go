@@ -28,10 +28,11 @@ type WorldWatch struct {
 	recvMsgs  map[[2]int]int64
 }
 
-// WatchWorld installs send, match, and clock observers into the world
-// configuration, chaining any already present. The config is mutated
-// in place; call before mpi.Run (or core.Run / beffio.Run, which run
-// the world for you).
+// WatchWorld registers send, match, and clock observers on the world
+// configuration via the composable Observer API; any other
+// subscribers (trace, perturb, obs) attach independently. The config
+// is mutated in place; call before mpi.Run (or core.Run / beffio.Run,
+// which run the world for you).
 func (c *Checker) WatchWorld(cfg *mpi.WorldConfig) *WorldWatch {
 	w := &WorldWatch{
 		c:         c,
@@ -40,25 +41,11 @@ func (c *Checker) WatchWorld(cfg *mpi.WorldConfig) *WorldWatch {
 		recvBytes: map[[2]int]int64{},
 		recvMsgs:  map[[2]int]int64{},
 	}
-	prevSend, prevMatch, prevClock := cfg.OnSend, cfg.OnMatch, cfg.OnClockAdvance
-	cfg.OnSend = func(src, dst int, size int64, at des.Time) {
-		w.ObserveSend(src, dst, size, at)
-		if prevSend != nil {
-			prevSend(src, dst, size, at)
-		}
-	}
-	cfg.OnMatch = func(src, dst int, size int64, at des.Time) {
-		w.ObserveMatch(src, dst, size, at)
-		if prevMatch != nil {
-			prevMatch(src, dst, size, at)
-		}
-	}
-	cfg.OnClockAdvance = func(from, to des.Time) {
-		w.ObserveClock(from, to)
-		if prevClock != nil {
-			prevClock(from, to)
-		}
-	}
+	cfg.Observe(mpi.Observer{
+		OnSend:         w.ObserveSend,
+		OnMatch:        w.ObserveMatch,
+		OnClockAdvance: w.ObserveClock,
+	})
 	c.onFinish(w.verify)
 	return w
 }

@@ -1,0 +1,218 @@
+// Package cli factors the flag surface shared by the beff command
+// family (beff, beffio, robustness, bench) into one place: a Config
+// struct holding every common knob, grouped registration helpers so
+// each command installs only the groups it supports, shared validation,
+// and the exit-code convention — runtime failures exit 1, usage errors
+// print the message plus the flag summary and exit 2.
+//
+// The observability flags (-metrics, -metrics-interval, -progress,
+// -debug-addr) and the run harness behind them live in obs.go; a
+// command that registers ObsFlags gets all three exposure paths of
+// internal/obs wired from one StartObs call.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/perturb"
+	"github.com/hpcbench/beff/internal/prof"
+)
+
+// Config is the shared command-line surface. Zero value plus a Name is
+// ready for flag registration; fields are only meaningful after the
+// owning FlagSet has parsed.
+type Config struct {
+	// Name prefixes every diagnostic ("beff: ...") and names the
+	// command in usage errors.
+	Name string
+
+	// Machine selection (MachineFlags / ConfigFlag).
+	Machine    string
+	ConfigPath string
+	Procs      int
+
+	// Run shaping (SeedFlag / RepsFlag / PerturbFlag).
+	Seed    int64
+	Reps    int
+	Perturb string
+
+	// Verification (CheckFlag).
+	Check bool
+
+	// Tracing (TraceFlag).
+	TracePath string
+
+	// Host profiling (ProfileFlags).
+	CPUProfile string
+	MemProfile string
+
+	// Observability (ObsFlags).
+	MetricsPath     string
+	MetricsInterval time.Duration
+	Progress        bool
+	DebugAddr       string
+
+	fs *flag.FlagSet // the set the groups registered on, for Usage
+
+	hasMachine, hasSeed, hasReps bool
+}
+
+// New returns a Config for the named command.
+func New(name string) *Config { return &Config{Name: name} }
+
+func (c *Config) bind(fs *flag.FlagSet) *flag.FlagSet {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	c.fs = fs
+	return fs
+}
+
+// MachineFlags registers -machine and -procs. A nil fs means
+// flag.CommandLine (likewise for every other group).
+func (c *Config) MachineFlags(fs *flag.FlagSet) {
+	fs = c.bind(fs)
+	fs.StringVar(&c.Machine, "machine", "cluster", "machine profile key")
+	fs.IntVar(&c.Procs, "procs", 8, "number of simulated processes")
+	c.hasMachine = true
+}
+
+// ConfigFlag registers -config, the JSON machine definition override
+// (not every command supports ad-hoc machines, so it is separate from
+// MachineFlags).
+func (c *Config) ConfigFlag(fs *flag.FlagSet) {
+	fs = c.bind(fs)
+	fs.StringVar(&c.ConfigPath, "config", "", "JSON machine definition file (overrides -machine)")
+}
+
+// SeedFlag registers -seed. An empty help keeps the standard text.
+func (c *Config) SeedFlag(fs *flag.FlagSet, help string) {
+	fs = c.bind(fs)
+	if help == "" {
+		help = "seed for the random workload and the -perturb fault schedule"
+	}
+	fs.Int64Var(&c.Seed, "seed", 1, help)
+	c.hasSeed = true
+}
+
+// RepsFlag registers -reps with the command's default; the help string
+// is a parameter because repetition semantics differ per command.
+func (c *Config) RepsFlag(fs *flag.FlagSet, def int, help string) {
+	fs = c.bind(fs)
+	fs.IntVar(&c.Reps, "reps", def, help)
+	c.hasReps = true
+}
+
+// PerturbFlag registers -perturb with the command's default profile
+// (empty disables perturbation).
+func (c *Config) PerturbFlag(fs *flag.FlagSet, def string) {
+	fs = c.bind(fs)
+	fs.StringVar(&c.Perturb, "perturb", def,
+		"fault-injection profile: preset name ("+strings.Join(perturb.Presets(), ", ")+") or JSON file; empty disables perturbation")
+}
+
+// CheckFlag registers -check. resultOnly selects the weaker help text
+// for commands that can only verify result-level invariants.
+func (c *Config) CheckFlag(fs *flag.FlagSet, resultOnly bool) {
+	fs = c.bind(fs)
+	help := "verify runtime invariants (byte conservation, causality, reductions) and fail on violation"
+	if resultOnly {
+		help = "verify result invariants (reductions, statistics) and fail on violation"
+	}
+	fs.BoolVar(&c.Check, "check", false, help)
+}
+
+// TraceFlag registers -trace.
+func (c *Config) TraceFlag(fs *flag.FlagSet) {
+	fs = c.bind(fs)
+	fs.StringVar(&c.TracePath, "trace", "", "write a Chrome trace (chrome://tracing) of every message to this file")
+}
+
+// ProfileFlags registers -cpuprofile and -memprofile.
+func (c *Config) ProfileFlags(fs *flag.FlagSet) {
+	fs = c.bind(fs)
+	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&c.MemProfile, "memprofile", "", "write a heap profile to this file at exit")
+}
+
+// ObsFlags registers the observability surface: -metrics,
+// -metrics-interval, -progress and -debug-addr.
+func (c *Config) ObsFlags(fs *flag.FlagSet) {
+	fs = c.bind(fs)
+	fs.StringVar(&c.MetricsPath, "metrics", "", "stream metrics snapshots to this file as JSON lines")
+	fs.DurationVar(&c.MetricsInterval, "metrics-interval", time.Second,
+		"interval between -metrics snapshots; 0 writes only the final snapshot")
+	fs.BoolVar(&c.Progress, "progress", false, "paint a live progress line on stderr")
+	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /metrics (Prometheus) and /vars (JSON) on this address while running")
+}
+
+// Validate enforces the invariants of every registered shared group;
+// a violation is a usage error (message, flag summary, exit 2).
+// Command-specific flags are the command's own job, via UsageErr.
+func (c *Config) Validate() {
+	switch {
+	case c.hasMachine && c.Procs < 1:
+		c.UsageErr("-procs must be >= 1, got %d", c.Procs)
+	case c.hasReps && c.Reps < 1:
+		c.UsageErr("-reps must be >= 1, got %d", c.Reps)
+	case c.hasSeed && c.Seed < 1:
+		c.UsageErr("-seed must be >= 1, got %d", c.Seed)
+	case c.MetricsInterval < 0:
+		c.UsageErr("-metrics-interval must not be negative, got %v", c.MetricsInterval)
+	}
+}
+
+// Fatal reports err prefixed with the command name and exits 1; a nil
+// err is a no-op.
+func (c *Config) Fatal(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", c.Name, err)
+		os.Exit(1)
+	}
+}
+
+// UsageErr reports a bad-invocation message, prints the flag summary,
+// and exits 2 — the PR-3 exit-code convention for usage errors.
+func (c *Config) UsageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s: %s\n", c.Name, fmt.Sprintf(format, args...))
+	if c.fs != nil && c.fs.Usage != nil {
+		c.fs.Usage()
+	} else {
+		flag.Usage()
+	}
+	os.Exit(2)
+}
+
+// LoadMachine resolves the machine selection: the -config JSON
+// definition when given, the built-in -machine key otherwise.
+func (c *Config) LoadMachine() (*machine.Profile, error) {
+	if c.ConfigPath != "" {
+		return machine.LoadConfig(c.ConfigPath)
+	}
+	return machine.Lookup(c.Machine)
+}
+
+// LoadPerturb resolves -perturb; an empty flag yields a nil profile,
+// which every Apply* treats as a no-op.
+func (c *Config) LoadPerturb() (*perturb.Profile, error) {
+	if c.Perturb == "" {
+		return nil, nil
+	}
+	return perturb.Load(c.Perturb)
+}
+
+// StartProfiling starts the CPU profile (if requested) and returns a
+// stop function that also writes the heap profile — call it via defer.
+func (c *Config) StartProfiling() func() {
+	stopCPU, err := prof.StartCPU(c.CPUProfile)
+	c.Fatal(err)
+	return func() {
+		stopCPU()
+		c.Fatal(prof.WriteHeap(c.MemProfile))
+	}
+}

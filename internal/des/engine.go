@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/hpcbench/beff/internal/obs"
 )
 
 // Engine is a sequential discrete-event scheduler. It owns a set of
@@ -13,17 +15,51 @@ import (
 // the smallest wake-up time, which preserves causality: shared state is
 // only ever mutated in nondecreasing virtual-time order.
 type Engine struct {
-	clock     Time
-	queue     procHeap
-	running   *Proc
-	yieldCh   chan *Proc
-	seq       uint64
-	procs     []*Proc
-	finished  int
-	aborting  bool
-	failure   error
-	onAdvance func(from, to Time)
+	clock    Time
+	queue    procHeap
+	running  *Proc
+	yieldCh  chan *Proc
+	seq      uint64
+	procs    []*Proc
+	finished int
+	aborting bool
+	failure  error
+
+	// onAdvance is the legacy single-subscriber slot (SetOnAdvance);
+	// advanceObs holds observers registered through OnAdvance. Both are
+	// notified on every clock advance, legacy slot first.
+	onAdvance  func(from, to Time)
+	advanceObs []func(from, to Time)
+
+	metrics *Metrics
 }
+
+// Metrics is the engine's optional observability hook-up: a set of
+// obs instruments the scheduler increments on its hot paths. All
+// fields may be nil (obs instruments are nil-safe); a nil *Metrics
+// costs one predictable branch per dispatch. Attach with SetMetrics
+// before Run.
+type Metrics struct {
+	// Dispatches counts baton handoffs: one per process resumed by the
+	// scheduler loop (fast-path self-advances are not dispatches).
+	Dispatches *obs.Counter
+
+	// Advances counts clock movements to a strictly later virtual
+	// time, across both the scheduler loop and the SleepUntil fast
+	// path.
+	Advances *obs.Counter
+
+	// FastAdvances counts SleepUntil fast-path advances — sleeps that
+	// skipped the heap and channel handoff because no other process
+	// woke earlier.
+	FastAdvances *obs.Counter
+
+	// HeapDepthMax is the high-watermark of the run-queue depth.
+	HeapDepthMax *obs.Gauge
+}
+
+// SetMetrics attaches scheduler instruments; nil detaches them.
+func (e *Engine) SetMetrics(m *Metrics) { e.metrics = m }
 
 // NewEngine returns an empty engine with the clock at zero.
 func NewEngine() *Engine {
@@ -34,12 +70,42 @@ func NewEngine() *Engine {
 // is executing (from inside process bodies or engine callbacks).
 func (e *Engine) Now() Time { return e.clock }
 
-// SetOnAdvance installs an observer called on every advancement of the
+// OnAdvance registers an observer called on every advancement of the
 // virtual clock, with the clock value before and after. The scheduler
 // guarantees to >= from; internal/check uses this hook to assert it
-// independently. The hook runs inside the scheduler loop and must not
-// call back into the engine.
+// independently. Observers compose: each OnAdvance call adds a
+// subscriber, and all of them fire in registration order (after the
+// legacy SetOnAdvance slot, if set). Hooks run inside the scheduler
+// loop and must not call back into the engine.
+func (e *Engine) OnAdvance(fn func(from, to Time)) {
+	if fn != nil {
+		e.advanceObs = append(e.advanceObs, fn)
+	}
+}
+
+// SetOnAdvance installs the single legacy clock observer, replacing
+// any previous SetOnAdvance value. Observers registered with OnAdvance
+// are unaffected.
+//
+// Deprecated: use OnAdvance, which lets multiple subscribers (trace,
+// check, obs) attach independently instead of overwriting each other.
 func (e *Engine) SetOnAdvance(fn func(from, to Time)) { e.onAdvance = fn }
+
+// notifyAdvance fans a clock advance out to the legacy slot and every
+// registered observer. Callers gate on needsAdvance to keep the
+// no-subscriber cost to two predictable branches.
+func (e *Engine) notifyAdvance(from, to Time) {
+	if e.onAdvance != nil {
+		e.onAdvance(from, to)
+	}
+	for _, fn := range e.advanceObs {
+		fn(from, to)
+	}
+}
+
+func (e *Engine) needsAdvance() bool {
+	return e.onAdvance != nil || len(e.advanceObs) > 0
+}
 
 // abortError is the sentinel carried by the panic that tears down
 // leftover process goroutines when a run aborts (deadlock or a process
@@ -99,8 +165,14 @@ func (e *Engine) loop() error {
 			// at the moment they are set.
 			return fmt.Errorf("des: time ran backwards (clock %v, wake %v for %s)", e.clock, p.wakeAt, p.label)
 		}
-		if e.onAdvance != nil {
-			e.onAdvance(e.clock, p.wakeAt)
+		if e.needsAdvance() {
+			e.notifyAdvance(e.clock, p.wakeAt)
+		}
+		if m := e.metrics; m != nil {
+			m.Dispatches.Inc()
+			if p.wakeAt > e.clock {
+				m.Advances.Inc()
+			}
 		}
 		e.clock = p.wakeAt
 		p.now = p.wakeAt
@@ -170,6 +242,9 @@ func (e *Engine) push(p *Proc, at Time) {
 	e.seq++
 	p.state = stateQueued
 	e.queue.push(p)
+	if m := e.metrics; m != nil {
+		m.HeapDepthMax.SetMax(int64(e.queue.Len()))
+	}
 }
 
 func (e *Engine) pop() *Proc {

@@ -76,8 +76,14 @@ func (p *Proc) SleepUntil(t Time) {
 	// because an already-queued process with the same wake time carries a
 	// smaller sequence number and must run first.
 	if e.queue.Len() == 0 || e.queue[0].wakeAt > t {
-		if e.onAdvance != nil {
-			e.onAdvance(e.clock, t)
+		if e.needsAdvance() {
+			e.notifyAdvance(e.clock, t)
+		}
+		if m := e.metrics; m != nil {
+			m.FastAdvances.Inc()
+			if t > e.clock {
+				m.Advances.Inc()
+			}
 		}
 		e.clock = t
 		p.wakeAt = t

@@ -84,8 +84,16 @@ func (c *Comm) isend(dst, tag int, size int64, data []byte) *Request {
 	dstWorld := c.group[dst]
 	sp, dp := w.phys(srcWorld), w.phys(dstWorld)
 
-	if w.cfg.OnSend != nil {
-		w.cfg.OnSend(srcWorld, dstWorld, size, p.Now())
+	w.notifySend(srcWorld, dstWorld, size, p.Now())
+	if wm := w.metrics; wm != nil {
+		wm.MessageBytes.Observe(size)
+		if size <= w.cfg.EagerLimit {
+			wm.EagerMessages.Inc()
+			wm.EagerBytes.Add(size)
+		} else {
+			wm.RendezvousMsgs.Inc()
+			wm.RendezvousBytes.Add(size)
+		}
 	}
 	req := w.newRequest()
 	req.kind, req.comm = reqSend, c
@@ -168,6 +176,9 @@ func (c *Comm) irecv(src, tag int, buf []byte) *Request {
 	for i, m := range st.inbox {
 		if req.matches(m) {
 			st.inbox = append(st.inbox[:i], st.inbox[i+1:]...)
+			if wm := w.metrics; wm != nil {
+				wm.MatchesUnexpected.Inc()
+			}
 			w.bind(m, req)
 			return req
 		}
@@ -210,6 +221,9 @@ func (w *World) deliver(dstWorld int, m *message) {
 	for i, req := range st.posted {
 		if req.matches(m) {
 			st.posted = append(st.posted[:i], st.posted[i+1:]...)
+			if wm := w.metrics; wm != nil {
+				wm.MatchesPosted.Inc()
+			}
 			w.bind(m, req)
 			return
 		}
@@ -226,9 +240,7 @@ func (w *World) bind(m *message, req *Request) {
 	m.bound = true
 	req.msg = m
 	dstWorld := req.comm.group[req.comm.rank]
-	if w.cfg.OnMatch != nil {
-		w.cfg.OnMatch(m.src, dstWorld, m.size, w.eng.Now())
-	}
+	w.notifyMatch(m.src, dstWorld, m.size, w.eng.Now())
 	st := w.ranks[dstWorld]
 	if !m.rendezvous {
 		req.done = true

@@ -9,12 +9,48 @@
 //
 // Ranks are goroutines inside a des.Engine; exactly one runs at a time,
 // so simulations are deterministic and race-free by construction.
+//
+// # Observing a run
+//
+// Subscribers watch traffic by registering an Observer on the
+// WorldConfig before Run:
+//
+//	cfg.Observe(mpi.Observer{
+//		OnSend:  func(src, dst int, size int64, at des.Time) { ... },
+//		OnMatch: func(src, dst int, size int64, at des.Time) { ... },
+//	})
+//
+// Any number of observers attach independently — trace, perturb,
+// check, and obs can all watch one run without knowing about each
+// other. Hooks of every observer fire in registration order.
+//
+// # Migrating from the legacy callback fields
+//
+// Before the Observer API, WorldConfig carried single-subscriber
+// callback fields (OnSend, OnMatch, OnClockAdvance); composing two
+// subscribers meant each had to capture and chain the previous
+// field value by hand. Those fields still work — they form one legacy
+// observer that fires before all registered ones — but they are
+// Deprecated: replace
+//
+//	prev := cfg.OnSend                    // old: manual chaining
+//	cfg.OnSend = func(...) { prev(...); mine(...) }
+//
+// with
+//
+//	cfg.Observe(mpi.Observer{OnSend: mine}) // new: registration
+//
+// The engine-level equivalent (des.Engine.SetOnAdvance) is likewise
+// superseded by des.Engine.OnAdvance; Observer.OnEngine hands
+// subscribers the run's engine so they can reach it even though Run
+// creates the engine internally.
 package mpi
 
 import (
 	"fmt"
 
 	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/obs"
 	"github.com/hpcbench/beff/internal/simnet"
 )
 
@@ -54,24 +90,114 @@ type WorldConfig struct {
 
 	// OnSend, when non-nil, observes every point-to-point message at the
 	// moment it is submitted: world ranks of sender and receiver, payload
-	// size in bytes, and the submission time. Collectives are implemented
-	// on point-to-point, so the hook sees all traffic. Sends to ProcNull
-	// carry no message and are not reported. internal/check installs its
-	// byte-conservation ledger here.
+	// size in bytes, and the submission time.
+	//
+	// Deprecated: this is the single legacy observer slot; it still
+	// fires (before all registered observers) but cannot compose.
+	// Register an Observer with Observe instead.
 	OnSend func(src, dst int, size int64, at des.Time)
 
 	// OnMatch observes every message at the moment it is bound to a
-	// receive (world ranks, size, current virtual time). Each message is
-	// bound exactly once, so pairing OnSend and OnMatch observations
-	// yields an exactly-once delivery ledger: any message sent but never
-	// received, or double-counted, shows up as a pair imbalance.
+	// receive (world ranks, size, current virtual time).
+	//
+	// Deprecated: legacy single-subscriber slot; see OnSend.
 	OnMatch func(src, dst int, size int64, at des.Time)
 
-	// OnClockAdvance is installed on the run's event engine (see
-	// des.Engine.SetOnAdvance) and observes every advancement of the
-	// virtual clock. The engine is created inside Run, so this is the
-	// only way for callers to watch it.
+	// OnClockAdvance is installed on the run's event engine and
+	// observes every advancement of the virtual clock.
+	//
+	// Deprecated: legacy single-subscriber slot; register an Observer
+	// with an OnClockAdvance hook (or use Observer.OnEngine and
+	// des.Engine.OnAdvance) instead.
 	OnClockAdvance func(from, to des.Time)
+
+	// Observers holds the composable subscribers registered with
+	// Observe.
+	Observers []Observer
+
+	// Metrics, when non-nil, is incremented on the runtime's hot
+	// paths: protocol traffic, matching, and free-list churn. It is
+	// attached to the World built by Run.
+	Metrics *Metrics
+}
+
+// Observer is one composable subscriber to a World run. Any field may
+// be nil; non-nil hooks of every registered observer fire in
+// registration order, after the corresponding legacy WorldConfig slot.
+// Hooks run inside the simulation (with the engine baton held) and
+// must not block or call back into the engine.
+type Observer struct {
+	// OnSend observes every point-to-point message at the moment it is
+	// submitted: world ranks of sender and receiver, payload size in
+	// bytes, and the submission time. Collectives are implemented on
+	// point-to-point, so the hook sees all traffic. Sends to ProcNull
+	// carry no message and are not reported. internal/check installs
+	// its byte-conservation ledger here.
+	OnSend func(src, dst int, size int64, at des.Time)
+
+	// OnMatch observes every message at the moment it is bound to a
+	// receive (world ranks, size, current virtual time). Each message
+	// is bound exactly once, so pairing OnSend and OnMatch
+	// observations yields an exactly-once delivery ledger: any message
+	// sent but never received, or double-counted, shows up as a pair
+	// imbalance.
+	OnMatch func(src, dst int, size int64, at des.Time)
+
+	// OnClockAdvance observes every advancement of the run's virtual
+	// clock (see des.Engine.OnAdvance).
+	OnClockAdvance func(from, to des.Time)
+
+	// OnEngine runs once, after Run has created the event engine and
+	// before any rank starts. It is the handle for engine-level
+	// attachments — des.Engine.SetMetrics, extra des.Engine.OnAdvance
+	// subscriptions — that callers cannot reach otherwise, because the
+	// engine does not outlive Run.
+	OnEngine func(e *des.Engine)
+
+	// OnWorld runs once, after Run has built the World and before any
+	// rank starts — the hook for subscribers that need World state
+	// (rank count, the Net, placement).
+	OnWorld func(w *World)
+}
+
+// Observe registers a composable observer; it may be called any
+// number of times before Run. See the package documentation for the
+// migration from the legacy callback fields.
+func (cfg *WorldConfig) Observe(o Observer) {
+	cfg.Observers = append(cfg.Observers, o)
+}
+
+// Metrics is the MPI runtime's optional observability hook-up. All
+// fields may be nil (obs instruments are nil-safe); a nil *Metrics
+// costs one branch per message. Counting happens at submission and
+// match time and never touches virtual time, so enabling metrics
+// cannot change results.
+type Metrics struct {
+	// EagerMessages/EagerBytes and RendezvousMessages/RendezvousBytes
+	// split point-to-point traffic by protocol phase at the
+	// EagerLimit.
+	EagerMessages   *obs.Counter
+	EagerBytes      *obs.Counter
+	RendezvousMsgs  *obs.Counter
+	RendezvousBytes *obs.Counter
+
+	// MatchesPosted counts messages that found a posted receive
+	// waiting; MatchesUnexpected counts receives that found the
+	// message already queued in the unexpected inbox.
+	MatchesPosted     *obs.Counter
+	MatchesUnexpected *obs.Counter
+
+	// Free-list hit/miss pairs for the per-message hot-path pools.
+	MsgPoolHits   *obs.Counter
+	MsgPoolMisses *obs.Counter
+	ReqPoolHits   *obs.Counter
+	ReqPoolMisses *obs.Counter
+	BufPoolHits   *obs.Counter
+	BufPoolMisses *obs.Counter
+
+	// MessageBytes is the payload size distribution of all
+	// point-to-point messages.
+	MessageBytes *obs.Histogram
 }
 
 // World owns the shared state of one MPI job.
@@ -91,6 +217,51 @@ type World struct {
 	freeMsgs []*message
 	freeReqs []*Request
 	freeBufs [][]byte
+
+	// onSend and onMatch are the observer hooks compiled at Run from
+	// the registered Observers (the legacy WorldConfig slots are
+	// dispatched separately so later Set-style mutation keeps
+	// working).
+	onSend  []func(src, dst int, size int64, at des.Time)
+	onMatch []func(src, dst int, size int64, at des.Time)
+
+	metrics *Metrics
+}
+
+// notifySend fans a message submission out to the legacy slot and
+// every registered observer.
+func (w *World) notifySend(src, dst int, size int64, at des.Time) {
+	if w.cfg.OnSend == nil && len(w.onSend) == 0 {
+		return
+	}
+	w.fanOutSend(src, dst, size, at)
+}
+
+func (w *World) fanOutSend(src, dst int, size int64, at des.Time) {
+	if w.cfg.OnSend != nil {
+		w.cfg.OnSend(src, dst, size, at)
+	}
+	for _, fn := range w.onSend {
+		fn(src, dst, size, at)
+	}
+}
+
+// notifyMatch fans a message match out to the legacy slot and every
+// registered observer.
+func (w *World) notifyMatch(src, dst int, size int64, at des.Time) {
+	if w.cfg.OnMatch == nil && len(w.onMatch) == 0 {
+		return
+	}
+	w.fanOutMatch(src, dst, size, at)
+}
+
+func (w *World) fanOutMatch(src, dst int, size int64, at des.Time) {
+	if w.cfg.OnMatch != nil {
+		w.cfg.OnMatch(src, dst, size, at)
+	}
+	for _, fn := range w.onMatch {
+		fn(src, dst, size, at)
+	}
 }
 
 // newMessage pops a zeroed message from the free-list.
@@ -98,7 +269,13 @@ func (w *World) newMessage() *message {
 	if n := len(w.freeMsgs); n > 0 {
 		m := w.freeMsgs[n-1]
 		w.freeMsgs = w.freeMsgs[:n-1]
+		if wm := w.metrics; wm != nil {
+			wm.MsgPoolHits.Inc()
+		}
 		return m
+	}
+	if wm := w.metrics; wm != nil {
+		wm.MsgPoolMisses.Inc()
 	}
 	return &message{}
 }
@@ -117,7 +294,13 @@ func (w *World) newRequest() *Request {
 	if n := len(w.freeReqs); n > 0 {
 		r := w.freeReqs[n-1]
 		w.freeReqs = w.freeReqs[:n-1]
+		if wm := w.metrics; wm != nil {
+			wm.ReqPoolHits.Inc()
+		}
 		return r
+	}
+	if wm := w.metrics; wm != nil {
+		wm.ReqPoolMisses.Inc()
 	}
 	return &Request{}
 }
@@ -140,8 +323,14 @@ func (w *World) getBuf(n int) []byte {
 		b := w.freeBufs[l-1]
 		if cap(b) >= n {
 			w.freeBufs = w.freeBufs[:l-1]
+			if wm := w.metrics; wm != nil {
+				wm.BufPoolHits.Inc()
+			}
 			return b[:n]
 		}
+	}
+	if wm := w.metrics; wm != nil {
+		wm.BufPoolMisses.Inc()
 	}
 	return make([]byte, n)
 }
@@ -191,7 +380,21 @@ func Run(cfg WorldConfig, body func(c *Comm)) error {
 	if cfg.OnClockAdvance != nil {
 		eng.SetOnAdvance(cfg.OnClockAdvance)
 	}
-	w := &World{cfg: cfg, eng: eng, net: cfg.Net, size: n, nextCtx: 1}
+	w := &World{cfg: cfg, eng: eng, net: cfg.Net, size: n, nextCtx: 1, metrics: cfg.Metrics}
+	for _, o := range cfg.Observers {
+		if o.OnSend != nil {
+			w.onSend = append(w.onSend, o.OnSend)
+		}
+		if o.OnMatch != nil {
+			w.onMatch = append(w.onMatch, o.OnMatch)
+		}
+		if o.OnClockAdvance != nil {
+			eng.OnAdvance(o.OnClockAdvance)
+		}
+		if o.OnEngine != nil {
+			o.OnEngine(eng)
+		}
+	}
 	w.ranks = make([]*rankState, n)
 	for i := range w.ranks {
 		w.ranks[i] = &rankState{wake: eng.NewCond(fmt.Sprintf("rank %d mailbox", i))}
@@ -199,6 +402,11 @@ func Run(cfg WorldConfig, body func(c *Comm)) error {
 	group := make([]int, n)
 	for i := range group {
 		group[i] = i
+	}
+	for _, o := range cfg.Observers {
+		if o.OnWorld != nil {
+			o.OnWorld(w)
+		}
 	}
 	return eng.Run(n, func(p *des.Proc) {
 		p.SetLabel(fmt.Sprintf("rank %d", p.ID()))

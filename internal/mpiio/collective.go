@@ -199,6 +199,14 @@ func (f *File) twoPhase(seq int64, exts []extent, write bool) {
 	// Phase one: redistribute the payload between ranks and their
 	// aggregators (for reads this happens after the disk phase on real
 	// systems; the cost is symmetric, so we charge the same traffic).
+	if m := f.info.Metrics; m != nil {
+		m.CollectiveOps.Inc()
+		var shuffled int64
+		for _, n := range plan.send[c.Rank()] {
+			shuffled += n
+		}
+		m.ShuffleBytes.Add(shuffled)
+	}
 	c.AlltoallvBytes(plan.send[c.Rank()], plan.recv[c.Rank()])
 
 	// Phase two: aggregators access their file domains.

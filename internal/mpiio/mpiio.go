@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"github.com/hpcbench/beff/internal/mpi"
+	"github.com/hpcbench/beff/internal/obs"
 	"github.com/hpcbench/beff/internal/simfs"
 )
 
@@ -49,6 +50,24 @@ type Info struct {
 	// calls degrade to independent accesses plus synchronisation. For
 	// ablation studies.
 	NoCollectiveBuffering bool
+
+	// Metrics, when non-nil, counts the collective machinery's work.
+	// It is excluded from JSON so hint structs keep their cache
+	// fingerprints with or without observability attached.
+	Metrics *Metrics `json:"-"`
+}
+
+// Metrics is the MPI-I/O layer's optional observability hook-up. All
+// fields may be nil; counting never touches virtual time.
+type Metrics struct {
+	// CollectiveOps counts two-phase collective transfers (one per
+	// rank per collective call).
+	CollectiveOps *obs.Counter
+
+	// ShuffleBytes counts the phase-one redistribution traffic: bytes
+	// each rank ships to (or from) its aggregators over the message
+	// network before the disks are touched.
+	ShuffleBytes *obs.Counter
 }
 
 func (i Info) withDefaults(fs *simfs.FS, commSize int) Info {

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteJSON writes the snapshot as one newline-terminated JSON object —
+// the record format of the -metrics NDJSON stream.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// splitName separates an optional {label="value"} suffix from a metric
+// name, so "x_total{proto=\"eager\"}" exports as family x_total with
+// labels proto="eager".
+func splitName(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// promLabels renders a label set, merging an extra label (used for
+// histogram le=) into any labels already present in the metric name.
+func promLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Histograms become the conventional
+// family_bucket{le="..."} / family_sum / family_count series with a
+// cumulative +Inf bucket.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, smp := range s.Samples {
+		family, labels := splitName(smp.Name)
+		switch smp.Kind {
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", family); err != nil {
+				return err
+			}
+			cum := int64(0)
+			for _, b := range smp.Buckets {
+				if b.Le == math.MaxInt64 {
+					break // folded into the +Inf bucket below
+				}
+				cum += b.Count
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, promLabels(labels, fmt.Sprintf(`le="%d"`, b.Le)), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", family, promLabels(labels, `le="+Inf"`), smp.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, promLabels(labels, ""), promFloat(smp.Value)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", family, promLabels(labels, ""), smp.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s%s %s\n",
+				family, smp.Kind, family, promLabels(labels, ""), promFloat(smp.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promFloat formats a value the way Prometheus expects: integral
+// values without an exponent, everything else in Go's shortest form.
+func promFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

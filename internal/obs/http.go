@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry in the expvar
+// style: /metrics serves the Prometheus text format, /vars (and /)
+// serves the JSON snapshot — the payload behind the -debug-addr flag
+// for watching a multi-minute robustness sweep from another terminal.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	vars := func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.Snapshot().WriteJSON(w)
+	}
+	mux.HandleFunc("/vars", vars)
+	mux.HandleFunc("/", vars)
+	return mux
+}
+
+// Serve listens on addr (e.g. "localhost:6060") and serves Handler in
+// a background goroutine. It returns the bound address (useful with a
+// ":0" port) and a function that shuts the listener down.
+func Serve(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), ln.Close, nil
+}

@@ -1,0 +1,211 @@
+// Package obs is the simulator's live observability layer: a
+// zero-allocation metrics subsystem (counters, gauges, fixed-bucket
+// histograms) that the hot paths of the simulation stack — the event
+// engine, the network model, the MPI runtime, the filesystem, and the
+// experiment runner — increment while a run is in flight.
+//
+// The package is deliberately a leaf: it imports nothing from the
+// simulator, so every layer (including internal/des at the bottom) can
+// depend on it without cycles. Instruments are pointer-shaped and
+// atomic, which gives three properties the benchmarks need:
+//
+//   - Hot-path increments never allocate and never lock (one atomic
+//     add), so enabling metrics cannot shift a simulation's virtual
+//     time — results stay byte-identical with observability on or off.
+//   - Disabled instrumentation costs a single nil check: subsystems
+//     hold a nil metrics struct when no Registry is attached.
+//   - A snapshot can be taken concurrently from a wall-clock goroutine
+//     (the -metrics streamer, the -debug-addr HTTP endpoint) without
+//     stopping the simulation, because every read is atomic.
+//
+// Totals are commutative sums, so a parallel sweep (-j N) reaches the
+// same final snapshot regardless of worker count or completion order —
+// the determinism the rest of the repo promises extends to metrics.
+//
+// Export formats: newline-delimited JSON snapshots (WriteJSON),
+// Prometheus text format (WritePrometheus), an expvar-style HTTP
+// endpoint (Serve), and live single-line progress tickers for long
+// sweeps (Ticker, LiveWriter).
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; increments are one atomic add and never allocate.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must not be negative; counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous integer value (queue depth, workers busy).
+// The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// SetMax raises the gauge to v if v is larger — a high-watermark
+// update. It is written for a single writer (the simulation thread);
+// concurrent readers always see a consistent value.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	if v > g.v.Load() {
+		g.v.Store(v)
+	}
+}
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is an instantaneous float64 value (busy seconds,
+// utilisation). The zero value is ready to use.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value reports the current value.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the fixed bucket count of a Histogram: one bucket per
+// power of two from 1 up to 2^62, plus bucket 0 for zero and negative
+// observations. Fixed buckets keep Observe allocation-free.
+const histBuckets = 64
+
+// Histogram counts int64 observations in power-of-two buckets: bucket
+// i holds observations v with 2^(i-1) < v <= 2^i (bucket 0 holds
+// v <= 1). That resolution suits the benchmark's quantities — message
+// sizes double between measurements, so each size lands in its own
+// bucket. The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	return bits.Len64(uint64(v - 1))
+}
+
+// BucketBound reports the inclusive upper bound of bucket i.
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return 1 << i
+}
+
+// Observe records one value. One atomic add per field, no allocation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Buckets returns the non-empty buckets as (inclusive upper bound,
+// count) pairs in ascending bound order.
+func (h *Histogram) Buckets() []Bucket {
+	if h == nil {
+		return nil
+	}
+	var out []Bucket
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			out = append(out, Bucket{Le: BucketBound(i), Count: n})
+		}
+	}
+	return out
+}
+
+// Bucket is one histogram bucket: Count observations with value <= Le.
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}

@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("x_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("x_total") != c {
+		t.Fatal("create-or-get returned a different counter")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+	g.SetMax(10)
+	g.SetMax(7)
+	if got := g.Value(); got != 10 {
+		t.Fatalf("gauge after SetMax = %d, want 10", got)
+	}
+
+	f := r.FloatGauge("busy_seconds")
+	f.Set(1.5)
+	if got := f.Value(); got != 1.5 {
+		t.Fatalf("float gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var f *FloatGauge
+	var h *Histogram
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	g.SetMax(1)
+	f.Set(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || f.Value() != 0 || h.Count() != 0 || h.Sum() != 0 || h.Buckets() != nil {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r := New()
+	r.Counter("m")
+	r.Gauge("m")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1},
+		{3, 2}, {4, 2},
+		{5, 3}, {8, 3},
+		{9, 4},
+		{1 << 20, 20},
+		{1<<20 + 1, 21},
+		{math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.v); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.v, got, c.want)
+		}
+		// The defining property: v is within (prev bound, bound].
+		b := bucketOf(c.v)
+		if c.v > BucketBound(b) {
+			t.Errorf("value %d above its bucket bound %d", c.v, BucketBound(b))
+		}
+		if b > 0 && c.v <= BucketBound(b-1) {
+			t.Errorf("value %d not above previous bound %d", c.v, BucketBound(b-1))
+		}
+	}
+
+	var h Histogram
+	for _, v := range []int64{1, 1, 8, 1 << 20} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 10+1<<20 {
+		t.Fatalf("count/sum = %d/%d", h.Count(), h.Sum())
+	}
+	want := []Bucket{{Le: 1, Count: 2}, {Le: 8, Count: 1}, {Le: 1 << 20, Count: 1}}
+	got := h.Buckets()
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotSortedAndJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("z_total").Add(3)
+	r.Counter("a_total").Inc()
+	r.Histogram("h_bytes").Observe(100)
+	snap := r.Snapshot()
+	names := make([]string, len(snap.Samples))
+	for i, s := range snap.Samples {
+		names[i] = s.Name
+	}
+	want := []string{"a_total", "h_bytes", "z_total"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("snapshot order %v, want %v", names, want)
+		}
+	}
+	if s, ok := snap.Get("z_total"); !ok || s.Value != 3 {
+		t.Fatalf("Get(z_total) = %+v, %v", s, ok)
+	}
+
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Fatal("WriteJSON must newline-terminate the record")
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("stream line does not parse: %v", err)
+	}
+	if len(back.Samples) != 3 {
+		t.Fatalf("round-trip lost samples: %+v", back.Samples)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Counter("mpi_messages_total").Add(7)
+	r.FloatGauge(`simnet_resource_busy_seconds{resource="tx0"}`).Set(1.25)
+	h := r.Histogram("simnet_transfer_bytes")
+	h.Observe(1)
+	h.Observe(8)
+	h.Observe(8)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE mpi_messages_total counter",
+		"mpi_messages_total 7",
+		`simnet_resource_busy_seconds{resource="tx0"} 1.25`,
+		"# TYPE simnet_transfer_bytes histogram",
+		`simnet_transfer_bytes_bucket{le="1"} 1`,
+		`simnet_transfer_bytes_bucket{le="8"} 3`,
+		`simnet_transfer_bytes_bucket{le="+Inf"} 3`,
+		"simnet_transfer_bytes_sum 17",
+		"simnet_transfer_bytes_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStreamerWritesFinalSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "metrics.ndjson")
+	r := New()
+	s, err := OpenStream(path, r, 0) // no ticker: final snapshot only
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Counter("runs_total").Inc()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var snap Snapshot
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			t.Fatalf("line %d does not parse: %v", lines, err)
+		}
+		if s, ok := snap.Get("runs_total"); !ok || s.Value != 1 {
+			t.Fatalf("line %d: runs_total = %+v, %v", lines, s, ok)
+		}
+	}
+	if lines != 1 {
+		t.Fatalf("stream has %d lines, want exactly the final snapshot", lines)
+	}
+}
+
+func TestStreamerTicks(t *testing.T) {
+	r := New()
+	r.Counter("ticks_total").Inc()
+	var buf syncBuffer
+	s := NewStreamer(r, &buf, time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for buf.Lines() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Lines() < 3 { // >= 2 ticks + final
+		t.Fatalf("expected periodic snapshots, got %d lines", buf.Lines())
+	}
+}
+
+// syncBuffer is a goroutine-safe line-counting writer for ticker tests.
+type syncBuffer struct {
+	mu    sync.Mutex
+	lines int
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	b.lines += bytes.Count(p, []byte("\n"))
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+func (b *syncBuffer) Lines() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lines
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	r := New()
+	r.Counter("hits_total").Add(2)
+	addr, shutdown, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "hits_total 2") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/vars")), &snap); err != nil {
+		t.Fatalf("/vars is not JSON: %v", err)
+	}
+	if s, ok := snap.Get("hits_total"); !ok || s.Value != 2 {
+		t.Fatalf("/vars hits_total = %+v, %v", s, ok)
+	}
+}
+
+func TestLiveWriterRepaintsInPlace(t *testing.T) {
+	var buf bytes.Buffer
+	lw := NewLiveWriter(&buf)
+	fmt.Fprintln(lw, "sweep: [1/4] cell-a 12ms")
+	fmt.Fprintln(lw, "sweep: [2/4] b 1ms")
+	lw.Done()
+	out := buf.String()
+	if strings.Count(out, "\r") != 2 {
+		t.Fatalf("expected 2 repaints, got %q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatalf("Done must end the line: %q", out)
+	}
+	// The shorter second line must clear the first line's tail.
+	if !strings.Contains(out, "sweep: [2/4] b 1ms      ") {
+		t.Fatalf("short repaint not padded: %q", out)
+	}
+}
+
+func TestTickerRendersRegistry(t *testing.T) {
+	r := New()
+	r.Counter("events_total").Add(42)
+	var buf bytes.Buffer
+	tk := NewTicker(&buf, r, time.Hour, func(s Snapshot) string {
+		v, _ := s.Get("events_total")
+		return fmt.Sprintf("events=%d", int64(v.Value))
+	})
+	tk.Stop() // paints the final line even though no tick fired
+	if !strings.Contains(buf.String(), "events=42") {
+		t.Fatalf("ticker final paint missing: %q", buf.String())
+	}
+}
+
+// The acceptance criterion: hot-path increments are 0 allocs/op.
+func TestHotPathIncrementsDoNotAllocate(t *testing.T) {
+	r := New()
+	c := r.Counter("c_total")
+	g := r.Gauge("g")
+	f := r.FloatGauge("f")
+	h := r.Histogram("h")
+	var nilC *Counter
+	checks := map[string]func(){
+		"counter.Inc":     func() { c.Inc() },
+		"counter.Add":     func() { c.Add(3) },
+		"gauge.Set":       func() { g.Set(7) },
+		"gauge.Add":       func() { g.Add(-1) },
+		"gauge.SetMax":    func() { g.SetMax(9) },
+		"floatgauge.Set":  func() { f.Set(3.14) },
+		"histogram.Obs":   func() { h.Observe(4096) },
+		"nil counter.Inc": func() { nilC.Inc() },
+	}
+	for name, fn := range checks {
+		if n := testing.AllocsPerRun(1000, fn); n != 0 {
+			t.Errorf("%s allocates %.1f allocs/op, want 0", name, n)
+		}
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}
+
+func BenchmarkDisabledCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// LiveWriter renders each line written to it in place on a terminal:
+// every Write repaints the same screen line (carriage return, no
+// newline), so a long sweep shows one updating status line instead of
+// scrolling. It is handed to runner.Options.Progress by the -progress
+// flag. Done ends the live line with a final newline.
+//
+// Writers like runner's progress reporter emit whole lines per call,
+// which is what LiveWriter expects; multi-line payloads are collapsed
+// to their last non-empty line.
+type LiveWriter struct {
+	mu   sync.Mutex
+	w    io.Writer
+	last int // rune width of the previous paint, for clearing
+}
+
+// NewLiveWriter returns a LiveWriter painting onto w (usually stderr).
+func NewLiveWriter(w io.Writer) *LiveWriter {
+	return &LiveWriter{w: w}
+}
+
+// Write repaints the live line with p's last non-empty line.
+func (lw *LiveWriter) Write(p []byte) (int, error) {
+	line := ""
+	for _, l := range strings.Split(strings.TrimRight(string(p), "\n"), "\n") {
+		if strings.TrimSpace(l) != "" {
+			line = l
+		}
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	pad := lw.last - len([]rune(line))
+	if pad < 0 {
+		pad = 0
+	}
+	lw.last = len([]rune(line))
+	_, err := fmt.Fprintf(lw.w, "\r%s%s", line, strings.Repeat(" ", pad))
+	return len(p), err
+}
+
+// Done terminates the live line with a newline (if anything was
+// painted) so subsequent output starts on a fresh line.
+func (lw *LiveWriter) Done() {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.last > 0 {
+		fmt.Fprintln(lw.w)
+		lw.last = 0
+	}
+}
+
+// A Ticker periodically renders a registry-derived status line in
+// place — the -progress view for a single long simulation (as opposed
+// to a sweep, where LiveWriter repaints runner's per-cell lines). The
+// render function turns a snapshot into one line; Stop paints a final
+// line and releases the terminal.
+type Ticker struct {
+	lw     *LiveWriter
+	reg    *Registry
+	render func(Snapshot) string
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// NewTicker starts painting render(snapshot) onto w every interval.
+func NewTicker(w io.Writer, reg *Registry, interval time.Duration, render func(Snapshot) string) *Ticker {
+	t := &Ticker{
+		lw:     NewLiveWriter(w),
+		reg:    reg,
+		render: render,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go t.run(interval)
+	return t
+}
+
+func (t *Ticker) run(interval time.Duration) {
+	defer close(t.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			fmt.Fprintln(t.lw, t.render(t.reg.Snapshot()))
+		case <-t.stop:
+			return
+		}
+	}
+}
+
+// Stop halts the ticker, paints one final line, and ends it with a
+// newline. Safe to call once.
+func (t *Ticker) Stop() {
+	close(t.stop)
+	<-t.done
+	fmt.Fprintln(t.lw, t.render(t.reg.Snapshot()))
+	t.lw.Done()
+}

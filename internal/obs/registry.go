@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is a named collection of instruments. Instruments are
+// created once (create-or-get by name) and then incremented without
+// touching the registry again, so registration cost never reaches a
+// hot path. All methods are safe for concurrent use.
+//
+// Metric names follow the Prometheus convention: [a-zA-Z_][a-zA-Z0-9_]*
+// with an optional {label="value",...} suffix that is passed through to
+// the exporters verbatim, e.g. "simnet_resource_busy_seconds{resource=\"tx0\"}".
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any // *Counter | *Gauge | *FloatGauge | *Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{metrics: map[string]any{}}
+}
+
+// lookup returns the instrument registered under name, creating it
+// with mk when absent. Re-registering a name with a different kind
+// panics: it is a wiring bug, not a runtime condition.
+func (r *Registry) lookup(name string, mk func() any) any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		return m
+	}
+	m := mk()
+	r.metrics[name] = m
+	return m
+}
+
+// Counter returns the counter registered under name, creating it if
+// needed.
+func (r *Registry) Counter(name string) *Counter {
+	m := r.lookup(name, func() any { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s already registered as %T", name, m))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	m := r.lookup(name, func() any { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s already registered as %T", name, m))
+	}
+	return g
+}
+
+// FloatGauge returns the float gauge registered under name, creating
+// it if needed.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	m := r.lookup(name, func() any { return &FloatGauge{} })
+	g, ok := m.(*FloatGauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s already registered as %T", name, m))
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	m := r.lookup(name, func() any { return &Histogram{} })
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: %s already registered as %T", name, m))
+	}
+	return h
+}
+
+// Sample is one instrument's state inside a Snapshot.
+type Sample struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"` // "counter", "gauge", "histogram"
+
+	// Value is the counter or gauge value; for histograms it is the
+	// sum of all observations.
+	Value float64 `json:"value"`
+
+	// Count and Buckets are histogram-only.
+	Count   int64    `json:"count,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time reading of every registered instrument,
+// sorted by name. The sort (and the commutativity of the underlying
+// sums) makes final snapshots deterministic: the same sweep produces
+// the same Samples at any worker count.
+type Snapshot struct {
+	// Wall is the host wall-clock time of the reading. It is carried
+	// for the JSON stream and excluded from determinism comparisons.
+	Wall time.Time `json:"wall"`
+
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot reads every instrument. It is safe to call while the
+// instrumented code is running; each instrument is read atomically
+// (the snapshot as a whole is not a consistent cut, which is fine for
+// monotone counters).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.metrics))
+	for name := range r.metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	snap := Snapshot{Wall: time.Now(), Samples: make([]Sample, 0, len(names))}
+	for _, name := range names {
+		switch m := r.metrics[name].(type) {
+		case *Counter:
+			snap.Samples = append(snap.Samples, Sample{Name: name, Kind: "counter", Value: float64(m.Value())})
+		case *Gauge:
+			snap.Samples = append(snap.Samples, Sample{Name: name, Kind: "gauge", Value: float64(m.Value())})
+		case *FloatGauge:
+			snap.Samples = append(snap.Samples, Sample{Name: name, Kind: "gauge", Value: m.Value()})
+		case *Histogram:
+			snap.Samples = append(snap.Samples, Sample{
+				Name: name, Kind: "histogram",
+				Value: float64(m.Sum()), Count: m.Count(), Buckets: m.Buckets(),
+			})
+		}
+	}
+	r.mu.Unlock()
+	return snap
+}
+
+// Get reports the sample registered under name in the snapshot, if
+// present.
+func (s Snapshot) Get(name string) (Sample, bool) {
+	for _, smp := range s.Samples {
+		if smp.Name == name {
+			return smp, true
+		}
+	}
+	return Sample{}, false
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// A Streamer periodically snapshots a registry and appends each
+// snapshot as one NDJSON line to a writer — the engine behind the
+// -metrics flag. It runs on host wall-clock time from its own
+// goroutine, which is safe because every instrument read is atomic;
+// the simulation never blocks on it and virtual time is untouched.
+//
+// Close writes one final snapshot (so short runs that finish before
+// the first tick still produce a record) and flushes.
+type Streamer struct {
+	reg *Registry
+	w   io.Writer
+	c   io.Closer // optional: closed after the final snapshot
+
+	mu     sync.Mutex // serialises ticker writes with Close
+	closed bool
+	stop   chan struct{}
+	done   chan struct{}
+	err    error
+}
+
+// NewStreamer starts streaming snapshots of reg to w every interval.
+// An interval <= 0 disables the ticker: only the final snapshot on
+// Close is written. If w also implements io.Closer it is closed by
+// Close.
+func NewStreamer(reg *Registry, w io.Writer, interval time.Duration) *Streamer {
+	s := &Streamer{
+		reg:  reg,
+		w:    w,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	go s.run(interval)
+	return s
+}
+
+// OpenStream creates (truncates) path and streams snapshots to it.
+func OpenStream(path string, reg *Registry, interval time.Duration) (*Streamer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewStreamer(reg, f, interval), nil
+}
+
+func (s *Streamer) run(interval time.Duration) {
+	defer close(s.done)
+	if interval <= 0 {
+		<-s.stop
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed {
+				if err := s.reg.Snapshot().WriteJSON(s.w); err != nil && s.err == nil {
+					s.err = err
+				}
+			}
+			s.mu.Unlock()
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Close writes a final snapshot, closes the underlying file if the
+// streamer opened one, and returns the first write error encountered.
+// It is safe to call more than once.
+func (s *Streamer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return s.err
+	}
+	s.closed = true
+	if err := s.reg.Snapshot().WriteJSON(s.w); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	close(s.stop)
+	<-s.done
+	if s.c != nil {
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}

@@ -102,7 +102,9 @@ func (pr *Profile) applyProcs(net *simnet.Net, seed int64) {
 	}
 
 	if stall != nil || slowdown != nil {
-		net.SetProcPerturb(stall, slowdown)
+		// Composable registration: a profile's hooks coexist with any
+		// other perturbation source instead of overwriting it.
+		net.AddProcPerturb(stall, slowdown)
 	}
 }
 
@@ -156,7 +158,7 @@ func (pr *Profile) ApplyFS(fs *simfs.FS, seed int64) {
 		}
 	}
 	faults := pr.IO
-	fs.SetServerPerturb(func(server int, at des.Time) des.Duration {
+	fs.AddServerPerturb(func(server int, at des.Time) des.Duration {
 		var d des.Duration
 		for i := range faults {
 			f := &faults[i]

@@ -24,6 +24,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/hpcbench/beff/internal/obs"
 )
 
 // Cell is one independent unit of a sweep: a deterministic simulation
@@ -70,6 +72,30 @@ type Options struct {
 
 	// Label prefixes progress lines (usually the command name).
 	Label string
+
+	// Metrics, when non-nil, counts sweep activity (cells, cache hits,
+	// worker occupancy). Instruments are updated from worker
+	// goroutines; obs instruments are atomic, so a concurrent
+	// -metrics streamer may watch a sweep live.
+	Metrics *Metrics
+}
+
+// Metrics is the sweep's optional observability hook-up. All fields
+// may be nil.
+type Metrics struct {
+	// CellsDone counts completed cells (failed ones included);
+	// CellsFailed counts the failures among them.
+	CellsDone   *obs.Counter
+	CellsFailed *obs.Counter
+
+	// CacheHits counts cells satisfied from the on-disk result cache.
+	CacheHits *obs.Counter
+
+	// WorkersBusy tracks how many workers are currently resolving a
+	// cell. It returns to zero when the sweep drains, so final
+	// snapshots stay identical at any -j; watch it live (HTTP endpoint
+	// or stream) for occupancy.
+	WorkersBusy *obs.Gauge
 }
 
 // Sweep runs every cell and returns one Result per cell, in cell
@@ -96,7 +122,20 @@ func Sweep[T any](cells []Cell[T], opt Options) []Result[T] {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				if m := opt.Metrics; m != nil {
+					m.WorkersBusy.Add(1)
+				}
 				out[i] = runCell(cells[i], opt.Cache)
+				if m := opt.Metrics; m != nil {
+					m.WorkersBusy.Add(-1)
+					m.CellsDone.Inc()
+					if out[i].Err != nil {
+						m.CellsFailed.Inc()
+					}
+					if out[i].Cached {
+						m.CacheHits.Inc()
+					}
+				}
 				pg.report(out[i].Key, out[i].Cached, out[i].Elapsed, out[i].Err)
 			}
 		}()

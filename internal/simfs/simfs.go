@@ -26,6 +26,7 @@ import (
 	"sort"
 
 	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/obs"
 )
 
 // Config describes an I/O subsystem.
@@ -95,6 +96,10 @@ type Config struct {
 	// direction, bytes, and busy interval. internal/trace provides a
 	// collector for it. Cache-absorbed traffic reports the queued disk
 	// work, not the memory-speed completion.
+	//
+	// Deprecated: this is the single legacy observer slot. Register
+	// additional observers with FS.ObserveServerOps, which composes
+	// instead of overwriting.
 	OnServerOp func(server int, write bool, bytes int64, start, end des.Time)
 
 	// BackgroundLoad models a non-dedicated system: the fraction of
@@ -149,11 +154,40 @@ type FS struct {
 	totalRead    int64
 	writeClock   int64 // total bytes ever written, for cache eviction
 
-	// serverStall, when non-nil, reports extra service time a server
+	// serverStall is the legacy single-slot I/O-hiccup hook
+	// (SetServerPerturb); serverStalls holds hooks added with
+	// AddServerPerturb. Each reports extra service time a server
 	// spends unavailable around a disk operation starting at the given
-	// time — the I/O-hiccup hook installed by internal/perturb.
-	serverStall func(server int, at des.Time) des.Duration
+	// time; durations from every hook sum.
+	serverStall  func(server int, at des.Time) des.Duration
+	serverStalls []func(server int, at des.Time) des.Duration
+
+	// serverOpObs holds observers registered with ObserveServerOps;
+	// they fire after the legacy Config.OnServerOp slot.
+	serverOpObs []func(server int, write bool, bytes int64, start, end des.Time)
+
+	metrics *Metrics
 }
+
+// Metrics is the filesystem's optional observability hook-up. All
+// fields may be nil; a nil *Metrics costs one branch per server
+// operation. Attach with SetMetrics before the simulation starts.
+type Metrics struct {
+	// Ops counts disk operations (stripe pieces) reaching a server.
+	Ops *obs.Counter
+
+	// WriteBytes and ReadBytes count payload bytes through the disks
+	// (cache-absorbed reads excluded from ReadBytes).
+	WriteBytes *obs.Counter
+	ReadBytes  *obs.Counter
+
+	// CacheHits counts reads served from the write-behind cache at
+	// memory speed.
+	CacheHits *obs.Counter
+}
+
+// SetMetrics attaches filesystem instruments; nil detaches them.
+func (fs *FS) SetMetrics(m *Metrics) { fs.metrics = m }
 
 type server struct {
 	id int
@@ -211,19 +245,86 @@ func MustNew(cfg Config) *FS {
 // Config returns the filesystem configuration.
 func (fs *FS) Config() Config { return fs.cfg }
 
-// SetOnServerOp installs (or replaces) the disk-operation observer
-// after construction — convenient when the FS came from a machine
-// profile.
+// SetOnServerOp installs (or replaces) the legacy single
+// disk-operation observer after construction. Observers registered
+// with ObserveServerOps are unaffected.
+//
+// Deprecated: use ObserveServerOps, which lets multiple subscribers
+// (trace, check, obs) attach independently instead of overwriting
+// each other.
 func (fs *FS) SetOnServerOp(f func(server int, write bool, bytes int64, start, end des.Time)) {
 	fs.cfg.OnServerOp = f
 }
 
-// SetServerPerturb installs (or removes, with nil) the per-server
-// hiccup hook: fn reports how much extra service time the server
-// spends on a disk operation starting at the given time. Must be
-// called before the simulation starts.
+// ObserveServerOps registers an additional disk-operation observer:
+// server, direction, bytes, and busy interval. Observers compose —
+// each call adds a subscriber, and all fire per operation in
+// registration order (after the legacy Config.OnServerOp slot, if
+// set). Must be called before the simulation starts.
+func (fs *FS) ObserveServerOps(f func(server int, write bool, bytes int64, start, end des.Time)) {
+	if f != nil {
+		fs.serverOpObs = append(fs.serverOpObs, f)
+	}
+}
+
+// notifyServerOp fans a disk operation out to the legacy slot and
+// every ObserveServerOps subscriber.
+func (fs *FS) notifyServerOp(server int, write bool, bytes int64, start, end des.Time) {
+	if fs.cfg.OnServerOp == nil && len(fs.serverOpObs) == 0 {
+		return
+	}
+	fs.fanOutServerOp(server, write, bytes, start, end)
+}
+
+func (fs *FS) fanOutServerOp(server int, write bool, bytes int64, start, end des.Time) {
+	if fs.cfg.OnServerOp != nil {
+		fs.cfg.OnServerOp(server, write, bytes, start, end)
+	}
+	for _, fn := range fs.serverOpObs {
+		fn(server, write, bytes, start, end)
+	}
+}
+
+// SetServerPerturb installs (or removes, with nil) the legacy
+// single-slot per-server hiccup hook, replacing any previous
+// SetServerPerturb value. Hooks added with AddServerPerturb are
+// unaffected. Must be called before the simulation starts.
+//
+// Deprecated: use AddServerPerturb, which composes multiple
+// perturbation sources instead of overwriting.
 func (fs *FS) SetServerPerturb(fn func(server int, at des.Time) des.Duration) {
 	fs.serverStall = fn
+}
+
+// AddServerPerturb registers an additional per-server hiccup hook: fn
+// reports how much extra service time the server spends on a disk
+// operation starting at the given time. Durations from every
+// registered hook (and the legacy slot) sum. Must be called before
+// the simulation starts.
+func (fs *FS) AddServerPerturb(fn func(server int, at des.Time) des.Duration) {
+	if fn != nil {
+		fs.serverStalls = append(fs.serverStalls, fn)
+	}
+}
+
+// stallFor sums every registered hiccup hook for an operation on
+// server id starting at the given time.
+func (fs *FS) stallFor(id int, at des.Time) des.Duration {
+	if fs.serverStall == nil && len(fs.serverStalls) == 0 {
+		return 0
+	}
+	return fs.stallSum(id, at)
+}
+
+func (fs *FS) stallSum(id int, at des.Time) des.Duration {
+	var d des.Duration
+	if fs.serverStall != nil {
+		d = fs.serverStall(id, at)
+	}
+	for _, fn := range fs.serverStalls {
+		d += fn(id, at)
+	}
+	return d
 }
 
 // File is an open simulated file.
@@ -516,16 +617,16 @@ func (fs *FS) serverWrite(f *File, pc piece, arrival des.Time) des.Time {
 	if arrival > diskStart {
 		diskStart = arrival
 	}
-	if fs.serverStall != nil {
-		work += fs.serverStall(s.id, diskStart)
-	}
+	work += fs.stallFor(s.id, diskStart)
 	s.diskFree = diskStart.Add(work)
 	s.busy += work
 	s.lastFile = f
 	s.lastEnd = local + pc.size
-	if fs.cfg.OnServerOp != nil {
-		fs.cfg.OnServerOp(s.id, true, pc.size, diskStart, s.diskFree)
+	if m := fs.metrics; m != nil {
+		m.Ops.Inc()
+		m.WriteBytes.Add(pc.size)
 	}
+	fs.notifyServerOp(s.id, true, pc.size, diskStart, s.diskFree)
 
 	// Write-behind: accepted at memory speed while the backlog fits in
 	// the cache; once the backlog exceeds the cache, the client is
@@ -544,6 +645,9 @@ func (fs *FS) serverRead(f *File, pc piece, arrival des.Time) des.Time {
 	// Cache hit: recently written region not yet evicted by later
 	// traffic elsewhere in the filesystem.
 	if fs.inCache(f, pc.off, pc.size) {
+		if m := fs.metrics; m != nil {
+			m.CacheHits.Inc()
+		}
 		return arrival.Add(fs.memCost(pc.size))
 	}
 	local := fs.serverLocal(pc.off)
@@ -565,16 +669,16 @@ func (fs *FS) serverRead(f *File, pc piece, arrival des.Time) des.Time {
 	if arrival > start {
 		start = arrival
 	}
-	if fs.serverStall != nil {
-		work += fs.serverStall(s.id, start)
-	}
+	work += fs.stallFor(s.id, start)
 	s.diskFree = start.Add(work)
 	s.busy += work
 	s.lastFile = f
 	s.lastEnd = local + pc.size
-	if fs.cfg.OnServerOp != nil {
-		fs.cfg.OnServerOp(s.id, false, pc.size, start, s.diskFree)
+	if m := fs.metrics; m != nil {
+		m.Ops.Inc()
+		m.ReadBytes.Add(pc.size)
 	}
+	fs.notifyServerOp(s.id, false, pc.size, start, s.diskFree)
 	return s.diskFree
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/obs"
 )
 
 // Fabric is a routed interconnect topology over physical processors
@@ -51,6 +52,10 @@ type Config struct {
 	// OnTransfer, when non-nil, observes every transfer: source and
 	// destination processors, payload size, injection start and
 	// arrival. internal/trace provides a collector for it.
+	//
+	// Deprecated: this is the single legacy observer slot. Register
+	// additional observers with Net.Observe, which composes instead of
+	// overwriting.
 	OnTransfer func(src, dst int, size int64, start, end des.Time)
 }
 
@@ -89,14 +94,49 @@ type Net struct {
 	bytesMoved int64
 	messages   int64
 
-	// stall and slowdown are the per-processor perturbation hooks
-	// installed by internal/perturb (nil in unperturbed runs): stall
-	// reports how long a processor's CPU is unavailable at a given
-	// time (OS-noise detours), slowdown a >= 1 multiplier on its
-	// software overheads (straggler nodes).
-	stall    func(proc int, at des.Time) des.Duration
-	slowdown func(proc int) float64
+	// transferObs holds observers registered with Observe; they fire
+	// after the legacy Config.OnTransfer slot, in registration order.
+	transferObs []func(src, dst int, size int64, start, end des.Time)
+
+	// stall and slowdown are the legacy per-processor perturbation
+	// slots (SetProcPerturb); stalls and slowdowns hold hooks added
+	// with AddProcPerturb. Stall durations sum; slowdown factors
+	// multiply. stall reports how long a processor's CPU is
+	// unavailable at a given time (OS-noise detours), slowdown a >= 1
+	// multiplier on its software overheads (straggler nodes).
+	stall     func(proc int, at des.Time) des.Duration
+	slowdown  func(proc int) float64
+	stalls    []func(proc int, at des.Time) des.Duration
+	slowdowns []func(proc int) float64
+
+	metrics *Metrics
 }
+
+// Metrics is the network's optional observability hook-up. All fields
+// may be nil; a nil *Metrics costs one branch per transfer. Attach
+// with SetMetrics before the simulation starts.
+type Metrics struct {
+	// Transfers and Bytes count every booked transfer (self-sends
+	// included) and their payload bytes.
+	Transfers *obs.Counter
+	Bytes     *obs.Counter
+
+	// Queued counts transfers whose injection was delayed because a
+	// resource on the route was already busy — back-pressure events.
+	Queued *obs.Counter
+
+	// RouteCacheHits and RouteCacheMisses track the per-pair route
+	// cache; misses include the uncached fallback on machines above
+	// maxPathCacheProcs.
+	RouteCacheHits   *obs.Counter
+	RouteCacheMisses *obs.Counter
+
+	// TransferBytes is the payload size distribution.
+	TransferBytes *obs.Histogram
+}
+
+// SetMetrics attaches network instruments; nil detaches them.
+func (n *Net) SetMetrics(m *Metrics) { n.metrics = m }
 
 // New builds the per-processor resources around the fabric.
 func New(cfg Config) *Net {
@@ -124,28 +164,77 @@ func New(cfg Config) *Net {
 // NumProcs reports the number of physical processors.
 func (n *Net) NumProcs() int { return n.cfg.Fabric.NumProcs() }
 
-// SetProcPerturb installs the per-processor perturbation hooks; either
-// may be nil. Must be called before the simulation starts.
+// SetProcPerturb installs the legacy per-processor perturbation slots,
+// replacing any previous SetProcPerturb values; either may be nil.
+// Hooks added with AddProcPerturb are unaffected. Must be called
+// before the simulation starts.
+//
+// Deprecated: use AddProcPerturb, which composes multiple perturbation
+// sources instead of overwriting.
 func (n *Net) SetProcPerturb(stall func(proc int, at des.Time) des.Duration, slowdown func(proc int) float64) {
 	n.stall = stall
 	n.slowdown = slowdown
 }
 
-// stallAt reports the remaining CPU detour of a processor at time at.
-func (n *Net) stallAt(proc int, at des.Time) des.Duration {
-	if n.stall == nil {
-		return 0
+// AddProcPerturb registers additional per-processor perturbation
+// hooks; either may be nil. Hooks compose deterministically: stall
+// durations from every registered hook (and the legacy slot) add up,
+// slowdown factors multiply. Must be called before the simulation
+// starts.
+func (n *Net) AddProcPerturb(stall func(proc int, at des.Time) des.Duration, slowdown func(proc int) float64) {
+	if stall != nil {
+		n.stalls = append(n.stalls, stall)
 	}
-	return n.stall(proc, at)
+	if slowdown != nil {
+		n.slowdowns = append(n.slowdowns, slowdown)
+	}
 }
 
-// scaleOverhead applies a processor's straggler slowdown to a software
-// overhead.
+// stallAt reports the remaining CPU detour of a processor at time at:
+// the sum over every registered stall hook. The wrapper keeps the
+// common unperturbed case inlinable at the Transfer call sites (the
+// summing loop below would defeat inlining).
+func (n *Net) stallAt(proc int, at des.Time) des.Duration {
+	if n.stall == nil && len(n.stalls) == 0 {
+		return 0
+	}
+	return n.stallSum(proc, at)
+}
+
+func (n *Net) stallSum(proc int, at des.Time) des.Duration {
+	var d des.Duration
+	if n.stall != nil {
+		d = n.stall(proc, at)
+	}
+	for _, fn := range n.stalls {
+		d += fn(proc, at)
+	}
+	return d
+}
+
+// scaleOverhead applies a processor's straggler slowdowns to a
+// software overhead; factors > 1 from every registered hook multiply.
+// Split like stallAt so the no-slowdown case inlines.
 func (n *Net) scaleOverhead(d des.Duration, proc int) des.Duration {
-	if n.slowdown == nil || d <= 0 {
+	if d <= 0 || (n.slowdown == nil && len(n.slowdowns) == 0) {
 		return d
 	}
-	if f := n.slowdown(proc); f > 1 {
+	return n.scaleOverheadSlow(d, proc)
+}
+
+func (n *Net) scaleOverheadSlow(d des.Duration, proc int) des.Duration {
+	f := 1.0
+	if n.slowdown != nil {
+		if s := n.slowdown(proc); s > 1 {
+			f *= s
+		}
+	}
+	for _, fn := range n.slowdowns {
+		if s := fn(proc); s > 1 {
+			f *= s
+		}
+	}
+	if f > 1 {
 		return des.Duration(float64(d)*f + 0.5)
 	}
 	return d
@@ -179,9 +268,12 @@ func (n *Net) Transfer(src, dst int, size int64, earliest des.Time) (senderFree,
 		end := st.Add(n.SendOverheadFor(src)).Add(n.CopyTime(size)).Add(n.RecvOverheadFor(dst))
 		n.bytesMoved += size
 		n.messages++
-		if n.cfg.OnTransfer != nil {
-			n.cfg.OnTransfer(src, dst, size, earliest, end)
+		if m := n.metrics; m != nil {
+			m.Transfers.Inc()
+			m.Bytes.Add(size)
+			m.TransferBytes.Observe(size)
 		}
+		n.notifyTransfer(src, dst, size, earliest, end)
 		return end, end
 	}
 	segs, lat := n.pathFor(src, dst)
@@ -195,10 +287,35 @@ func (n *Net) Transfer(src, dst int, size int64, earliest des.Time) (senderFree,
 	arrival = arrival.Add(n.stallAt(dst, arrival))
 	n.bytesMoved += size
 	n.messages++
-	if n.cfg.OnTransfer != nil {
-		n.cfg.OnTransfer(src, dst, size, start, arrival)
+	if m := n.metrics; m != nil {
+		m.Transfers.Inc()
+		m.Bytes.Add(size)
+		m.TransferBytes.Observe(size)
+		if start > injectAt {
+			m.Queued.Inc()
+		}
 	}
+	n.notifyTransfer(src, dst, size, start, arrival)
 	return senderFree, arrival
+}
+
+// notifyTransfer fans a transfer observation out to the legacy
+// Config.OnTransfer slot and every Observe subscriber. The unobserved
+// case must stay inlinable — it runs once per booked message.
+func (n *Net) notifyTransfer(src, dst int, size int64, start, end des.Time) {
+	if n.cfg.OnTransfer == nil && len(n.transferObs) == 0 {
+		return
+	}
+	n.fanOutTransfer(src, dst, size, start, end)
+}
+
+func (n *Net) fanOutTransfer(src, dst int, size int64, start, end des.Time) {
+	if n.cfg.OnTransfer != nil {
+		n.cfg.OnTransfer(src, dst, size, start, end)
+	}
+	for _, fn := range n.transferObs {
+		fn(src, dst, size, start, end)
+	}
 }
 
 // pathFor returns the composed segment list and route latency for a
@@ -208,6 +325,9 @@ func (n *Net) pathFor(src, dst int) ([]Segment, des.Duration) {
 	if n.pathRows == nil {
 		// Too many processors to memoise: compose into the reusable
 		// scratch buffer (consumed synchronously by reserve).
+		if m := n.metrics; m != nil {
+			m.RouteCacheMisses.Inc()
+		}
 		path, lat := n.cfg.Fabric.Path(src, dst)
 		n.scratch = n.composeInto(n.scratch[:0], src, dst, path)
 		return n.scratch, lat
@@ -218,7 +338,13 @@ func (n *Net) pathFor(src, dst int) ([]Segment, des.Duration) {
 		n.pathRows[src] = row
 	}
 	if e := &row[dst]; e.ok {
+		if m := n.metrics; m != nil {
+			m.RouteCacheHits.Inc()
+		}
 		return e.segs, e.lat
+	}
+	if m := n.metrics; m != nil {
+		m.RouteCacheMisses.Inc()
 	}
 	path, lat := n.cfg.Fabric.Path(src, dst)
 	segs := n.composeInto(make([]Segment, 0, len(path)+4), src, dst, path)
@@ -276,10 +402,25 @@ func (n *Net) Messages() int64 { return n.messages }
 // Config returns the configuration the Net was built with.
 func (n *Net) Config() Config { return n.cfg }
 
-// SetOnTransfer installs (or replaces) the transfer observer after
-// construction — convenient when the Net came from a machine profile.
+// SetOnTransfer installs (or replaces) the legacy single transfer
+// observer after construction. Observers registered with Observe are
+// unaffected.
+//
+// Deprecated: use Observe, which lets multiple subscribers (trace,
+// check, obs) attach independently instead of overwriting each other.
 func (n *Net) SetOnTransfer(f func(src, dst int, size int64, start, end des.Time)) {
 	n.cfg.OnTransfer = f
+}
+
+// Observe registers an additional transfer observer: source and
+// destination processors, payload size, injection start and arrival.
+// Observers compose — each call adds a subscriber, and all fire per
+// transfer in registration order (after the legacy Config.OnTransfer
+// slot, if set). Must be called before the simulation starts.
+func (n *Net) Observe(f func(src, dst int, size int64, start, end des.Time)) {
+	if f != nil {
+		n.transferObs = append(n.transferObs, f)
+	}
 }
 
 // ResourceLister is implemented by fabrics that can enumerate their
