@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Smoke tests of the built daemon: startup announcement, a full
+// submit-and-fetch round trip over a real socket, and the SIGTERM
+// drain path — the process-level contract the runbook and CI's beffd
+// smoke step depend on.
+
+var bin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "beffd-smoke")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	bin = filepath.Join(dir, "beffd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "build: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
+
+// startDaemon launches beffd on a free port in dir and returns the
+// base URL once the listening announcement appears on stderr.
+func startDaemon(t *testing.T, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "localhost:0"}, args...)...)
+	cmd.Dir = t.TempDir()
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	urlc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "beffd: listening on "); ok {
+				urlc <- rest
+			}
+		}
+	}()
+	select {
+	case u := <-urlc:
+		return cmd, u
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never announced its address")
+		return nil, ""
+	}
+}
+
+func TestBadFlagValuesRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"-queue-limit", "0"},
+		{"-max-client-jobs", "0"},
+		{"-max-jobs", "-1"},
+		{"-drain-timeout", "0s"},
+		{"-no-such-flag"},
+		{"stray-arg"},
+	} {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("%v accepted", args)
+		}
+		if !strings.Contains(string(out), "Usage") {
+			t.Errorf("%v: no usage text:\n%s", args, out)
+		}
+	}
+}
+
+func TestSubmitFetchDrain(t *testing.T) {
+	cmd, base := startDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	body := `{"bench":"beff","machines":["t3e"],"procs":[4],"lmax_override":1024,"max_looplength":1}`
+	resp, err = http.Post(base+"/api/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, data)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(data, &job); err != nil || job.ID == "" {
+		t.Fatalf("submit response %s (err %v)", data, err)
+	}
+
+	// The stream blocks until the job finishes, so no polling loop.
+	resp, err = http.Get(base + "/api/v1/jobs/" + job.ID + "/stream?interval=0s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(stream), `"done":true`) {
+		t.Fatalf("stream never reported done:\n%s", stream)
+	}
+
+	resp, err = http.Get(base + "/api/v1/jobs/" + job.ID + "/cells/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("cell: %d: %s", resp.StatusCode, cell)
+	}
+	var res struct {
+		Beff float64 `json:"Beff"`
+	}
+	if err := json.Unmarshal(cell, &res); err != nil || res.Beff <= 0 {
+		t.Fatalf("cell result %s (err %v), want positive Beff", cell[:min(len(cell), 200)], err)
+	}
+
+	// SIGTERM drains and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("daemon never exited after SIGTERM")
+	}
+}

@@ -1,0 +1,67 @@
+package beff_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocLinks walks every Markdown file in the repository and checks
+// that relative [text](target) links point at files that exist. The
+// docs cross-reference each other heavily (README → docs/API.md →
+// docs/OPERATIONS.md → EXPERIMENTS.md …); a rename or deletion must
+// fail here instead of leaving a dangling pointer for a reader to hit.
+func TestDocLinks(t *testing.T) {
+	// Inline links whose target is not an absolute URL or an
+	// in-page anchor. Images (![alt](img)) match too, which is
+	// intended: a missing image is just as broken.
+	link := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+	var files []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == ".beffcache" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no Markdown files found — is the test running at the repo root?")
+	}
+
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range link.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external URL — not ours to verify
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(file), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: link target %q does not exist (resolved %s)", file, m[1], resolved)
+			}
+		}
+	}
+}

@@ -57,9 +57,16 @@ type Config struct {
 	Progress        bool
 	DebugAddr       string
 
+	// Daemon surface (ServeFlags), used by beffd only.
+	Addr          string
+	QueueLimit    int
+	MaxClientJobs int
+	MaxJobs       int
+	DrainTimeout  time.Duration
+
 	fs *flag.FlagSet // the set the groups registered on, for Usage
 
-	hasMachine, hasSeed, hasReps bool
+	hasMachine, hasSeed, hasReps, hasServe bool
 }
 
 // New returns a Config for the named command.
@@ -151,6 +158,19 @@ func (c *Config) ObsFlags(fs *flag.FlagSet) {
 	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /metrics (Prometheus) and /vars (JSON) on this address while running")
 }
 
+// ServeFlags registers the daemon surface: -addr, -queue-limit,
+// -max-client-jobs, -max-jobs and -drain-timeout (beffd only; the
+// defaults mirror internal/serve's Config defaults).
+func (c *Config) ServeFlags(fs *flag.FlagSet) {
+	fs = c.bind(fs)
+	fs.StringVar(&c.Addr, "addr", "localhost:8080", "address to serve the sweep API on (\":0\" picks a free port)")
+	fs.IntVar(&c.QueueLimit, "queue-limit", 256, "max admitted-but-unfinished cells, server-wide; excess submissions get 503")
+	fs.IntVar(&c.MaxClientJobs, "max-client-jobs", 4, "max unfinished jobs per client; excess submissions get 429")
+	fs.IntVar(&c.MaxJobs, "max-jobs", 1024, "finished jobs retained for result fetches before eviction")
+	fs.DurationVar(&c.DrainTimeout, "drain-timeout", 10*time.Minute, "max time to let admitted cells finish after SIGTERM/SIGINT")
+	c.hasServe = true
+}
+
 // Validate enforces the invariants of every registered shared group;
 // a violation is a usage error (message, flag summary, exit 2).
 // Command-specific flags are the command's own job, via UsageErr.
@@ -164,6 +184,14 @@ func (c *Config) Validate() {
 		c.UsageErr("-seed must be >= 1, got %d", c.Seed)
 	case c.MetricsInterval < 0:
 		c.UsageErr("-metrics-interval must not be negative, got %v", c.MetricsInterval)
+	case c.hasServe && c.QueueLimit < 1:
+		c.UsageErr("-queue-limit must be >= 1, got %d", c.QueueLimit)
+	case c.hasServe && c.MaxClientJobs < 1:
+		c.UsageErr("-max-client-jobs must be >= 1, got %d", c.MaxClientJobs)
+	case c.hasServe && c.MaxJobs < 1:
+		c.UsageErr("-max-jobs must be >= 1, got %d", c.MaxJobs)
+	case c.hasServe && c.DrainTimeout <= 0:
+		c.UsageErr("-drain-timeout must be positive, got %v", c.DrainTimeout)
 	}
 }
 

@@ -262,6 +262,16 @@ func ProgressLine(s obs.Snapshot) string {
 		}
 		add("%s", cell)
 	}
+	if done, ok := s.Get("beffd_cells_done_total"); ok {
+		line := fmt.Sprintf("served %.0f", done.Value)
+		if q, ok := s.Get("beffd_queue_depth"); ok && q.Value > 0 {
+			line += fmt.Sprintf(" [%.0f queued]", q.Value)
+		}
+		if d, ok := s.Get("beffd_dedupe_hits_total"); ok && d.Value > 0 {
+			line += fmt.Sprintf(" (%.0f deduped)", d.Value)
+		}
+		add("%s", line)
+	}
 	if len(parts) == 0 {
 		return "warming up"
 	}

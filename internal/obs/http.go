@@ -6,22 +6,33 @@ import (
 	"time"
 )
 
+// Register mounts the registry's exporter endpoints on an existing
+// mux: /metrics serves the Prometheus text format and /vars the JSON
+// snapshot. This is how a server that owns its own route table (the
+// beffd sweep API) composes the metrics surface with its other
+// handlers instead of dedicating a whole listener to it.
+func Register(mux *http.ServeMux, reg *Registry) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.Snapshot().WriteJSON(w)
+	})
+}
+
 // Handler returns an http.Handler exposing the registry in the expvar
 // style: /metrics serves the Prometheus text format, /vars (and /)
 // serves the JSON snapshot — the payload behind the -debug-addr flag
 // for watching a multi-minute robustness sweep from another terminal.
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.Snapshot().WritePrometheus(w)
-	})
-	vars := func(w http.ResponseWriter, r *http.Request) {
+	Register(mux, reg)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		reg.Snapshot().WriteJSON(w)
-	}
-	mux.HandleFunc("/vars", vars)
-	mux.HandleFunc("/", vars)
+	})
 	return mux
 }
 

@@ -41,16 +41,30 @@ func OpenCache(dir string) (*Cache, error) {
 // Dir reports the cache's root directory.
 func (c *Cache) Dir() string { return c.dir }
 
-// keyFor hashes a fingerprint into the entry name. encoding/json is
-// canonical enough for this: struct fields marshal in declaration
-// order and map keys are sorted.
+// keyFor hashes a fingerprint into the entry name.
 func (c *Cache) keyFor(fingerprint any) (string, error) {
+	return fingerprintKey(c.salt, fingerprint)
+}
+
+// FingerprintKey reports the content-addressed identity of a cell
+// fingerprint under the current code version — the same hex SHA-256
+// that names the fingerprint's cache entry. The service layer dedupes
+// in-flight work by this key, so two requests share an execution
+// exactly when they would share a cache entry.
+func FingerprintKey(fingerprint any) (string, error) {
+	return fingerprintKey(codeVersion, fingerprint)
+}
+
+// fingerprintKey hashes (salt, canonical JSON fingerprint).
+// encoding/json is canonical enough for this: struct fields marshal
+// in declaration order and map keys are sorted.
+func fingerprintKey(salt string, fingerprint any) (string, error) {
 	fp, err := json.Marshal(fingerprint)
 	if err != nil {
 		return "", fmt.Errorf("runner: fingerprint not hashable: %w", err)
 	}
 	h := sha256.New()
-	h.Write([]byte(c.salt))
+	h.Write([]byte(salt))
 	h.Write([]byte{'\n'})
 	h.Write(fp)
 	return hex.EncodeToString(h.Sum(nil)), nil

@@ -125,7 +125,7 @@ func Sweep[T any](cells []Cell[T], opt Options) []Result[T] {
 				if m := opt.Metrics; m != nil {
 					m.WorkersBusy.Add(1)
 				}
-				out[i] = runCell(cells[i], opt.Cache)
+				out[i] = RunCell(cells[i], opt.Cache)
 				if m := opt.Metrics; m != nil {
 					m.WorkersBusy.Add(-1)
 					m.CellsDone.Inc()
@@ -148,8 +148,11 @@ func Sweep[T any](cells []Cell[T], opt Options) []Result[T] {
 	return out
 }
 
-// runCell resolves one cell: cache probe, compute, cache store.
-func runCell[T any](c Cell[T], cache *Cache) Result[T] {
+// RunCell resolves one cell synchronously: cache probe, compute,
+// cache store. Sweep workers use it per cell; the service layer
+// (internal/serve) uses it directly so HTTP-served results share the
+// same cache entries as CLI sweeps. A nil cache always recomputes.
+func RunCell[T any](c Cell[T], cache *Cache) Result[T] {
 	res := Result[T]{Key: c.Key}
 	start := time.Now()
 	var ck string

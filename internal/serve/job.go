@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"github.com/hpcbench/beff/internal/obs"
+	"github.com/hpcbench/beff/internal/runner"
+)
+
+// job tracks one admitted sweep: its cells, their pool handles, and a
+// per-job metrics registry that the NDJSON stream endpoint snapshots.
+// The registry reuse is deliberate: progress streaming over HTTP is
+// the same obs.Streamer machinery as the -metrics flag, pointed at a
+// job-scoped registry instead of the process-wide one.
+type job struct {
+	id      string
+	client  string
+	bench   string
+	created time.Time
+
+	reg *obs.Registry
+
+	mu       sync.Mutex
+	cells    []*cell
+	resolved int // cells whose handle has fired
+	failed   int
+	canceled int
+	cached   int
+
+	// finished closes when every cell has resolved (done, failed or
+	// canceled) — the signal the stream endpoint and Drain wait on.
+	finished chan struct{}
+}
+
+// cell is one (machine, procs, rep) point of the job's sweep.
+type cell struct {
+	key    string
+	handle *runner.Handle
+
+	// Final state, written once by the job watcher when the handle
+	// fires; guarded by job.mu.
+	resolved bool
+	state    runner.TaskState
+	value    json.RawMessage
+	cached   bool
+	elapsed  time.Duration
+	err      error
+}
+
+// jobInstruments are the per-job registry names the stream serves.
+const (
+	jobCellsTotal    = "job_cells_total"
+	jobCellsDone     = "job_cells_done_total"
+	jobCellsFailed   = "job_cells_failed_total"
+	jobCellsCached   = "job_cells_cached_total"
+	jobCellsDeduped  = "job_cells_deduped_total"
+	jobCellsCanceled = "job_cells_canceled_total"
+)
+
+func newJob(id, client, bench string, now time.Time) *job {
+	return &job{
+		id:       id,
+		client:   client,
+		bench:    bench,
+		created:  now,
+		reg:      obs.New(),
+		finished: make(chan struct{}),
+	}
+}
+
+// resolve records a fired handle's outcome and reports whether the
+// job just finished (every cell resolved).
+func (j *job) resolve(c *cell) bool {
+	value, cached, elapsed, err := c.handle.Result()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	c.resolved = true
+	c.value, c.cached, c.elapsed, c.err = value, cached, elapsed, err
+	c.state = c.handle.State()
+	j.resolved++
+	switch {
+	case c.state == runner.TaskCanceled:
+		j.canceled++
+		j.reg.Counter(jobCellsCanceled).Inc()
+	case err != nil:
+		j.failed++
+		j.reg.Counter(jobCellsFailed).Inc()
+		j.reg.Counter(jobCellsDone).Inc()
+	default:
+		if cached {
+			j.cached++
+			j.reg.Counter(jobCellsCached).Inc()
+		}
+		j.reg.Counter(jobCellsDone).Inc()
+	}
+	if j.resolved == len(j.cells) {
+		close(j.finished)
+		return true
+	}
+	return false
+}
+
+// JobStatus is the JSON shape of GET /api/v1/jobs/{id} (and, without
+// Cells, of the list endpoint and the stream's final summary line).
+type JobStatus struct {
+	ID            string       `json:"id"`
+	Client        string       `json:"client"`
+	Bench         string       `json:"bench"`
+	State         string       `json:"state"` // queued | running | done | canceled
+	Created       time.Time    `json:"created"`
+	CellsTotal    int          `json:"cells_total"`
+	CellsDone     int          `json:"cells_done"`
+	CellsFailed   int          `json:"cells_failed"`
+	CellsCached   int          `json:"cells_cached"`
+	CellsDeduped  int          `json:"cells_deduped"`
+	CellsCanceled int          `json:"cells_canceled"`
+	Cells         []CellStatus `json:"cells,omitempty"`
+}
+
+// CellStatus is one cell's row inside a JobStatus.
+type CellStatus struct {
+	Index     int     `json:"index"`
+	Key       string  `json:"key"`
+	State     string  `json:"state"`
+	Cached    bool    `json:"cached,omitempty"`
+	Deduped   bool    `json:"deduped,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// status snapshots the job. detail adds the per-cell rows.
+func (j *job) status(detail bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:            j.id,
+		Client:        j.client,
+		Bench:         j.bench,
+		Created:       j.created,
+		CellsTotal:    len(j.cells),
+		CellsDone:     j.resolved - j.canceled,
+		CellsFailed:   j.failed,
+		CellsCached:   j.cached,
+		CellsCanceled: j.canceled,
+	}
+	anyRunning := false
+	for _, c := range j.cells {
+		s := c.state
+		if !c.resolved {
+			s = c.handle.State()
+		}
+		if s == runner.TaskRunning {
+			anyRunning = true
+		}
+		if c.handle.Deduped() {
+			st.CellsDeduped++
+		}
+		if detail {
+			cs := CellStatus{
+				Index:     len(st.Cells),
+				Key:       c.key,
+				State:     s.String(),
+				Cached:    c.cached,
+				Deduped:   c.handle.Deduped(),
+				ElapsedMs: float64(c.elapsed) / float64(time.Millisecond),
+			}
+			if c.err != nil && s != runner.TaskCanceled {
+				cs.Error = c.err.Error()
+			}
+			st.Cells = append(st.Cells, cs)
+		}
+	}
+	switch {
+	case j.resolved == len(j.cells) && j.canceled == len(j.cells):
+		st.State = "canceled"
+	case j.resolved == len(j.cells):
+		st.State = "done"
+	case anyRunning:
+		st.State = "running"
+	default:
+		st.State = "queued"
+	}
+	return st
+}
+
+// done reports whether every cell has resolved.
+func (j *job) done() bool {
+	select {
+	case <-j.finished:
+		return true
+	default:
+		return false
+	}
+}

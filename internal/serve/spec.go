@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/perturb"
+	"github.com/hpcbench/beff/internal/runner"
+)
+
+// SweepRequest is the body of POST /api/v1/sweeps: the axes of a
+// sweep (machines × procs × repetitions) plus the benchmark options.
+// The request expands into one cell per axis point; every cell is an
+// ordinary runner cell, so it fingerprints, caches and dedupes exactly
+// like the same cell run through cmd/beff, cmd/beffio or
+// cmd/robustness.
+type SweepRequest struct {
+	// Bench selects the benchmark: "beff" or "beffio".
+	Bench string `json:"bench"`
+
+	// Machines are registry profile keys (see cmd/beff -list). The
+	// HTTP API deliberately accepts only registered profiles — ad-hoc
+	// JSON machine definitions would make the service an arbitrary
+	// compute endpoint.
+	Machines []string `json:"machines"`
+
+	// Procs are the partition sizes to sweep.
+	Procs []int `json:"procs"`
+
+	// Reps is the number of perturbed repetitions per (machine, procs)
+	// point; repetition r runs under perturb.RepSeed(Seed, r). Default
+	// 1. With no perturbation profile all repetitions share one
+	// fingerprint and the in-flight dedupe collapses them to a single
+	// execution.
+	Reps int `json:"reps,omitempty"`
+
+	// Perturb names a fault-injection preset (see cmd/robustness
+	// -list-presets); empty runs unperturbed. File-based profiles are
+	// not accepted over HTTP.
+	Perturb string `json:"perturb,omitempty"`
+
+	// Seed is the base seed for the random polygons and the perturbation
+	// schedule. Default 1.
+	Seed int64 `json:"seed,omitempty"`
+
+	// b_eff knobs (defaults match cmd/beff).
+	MaxLooplength int   `json:"max_looplength,omitempty"` // default 8
+	LmaxOverride  int64 `json:"lmax_override,omitempty"`  // 0 = memory rule
+	InnerReps     int   `json:"inner_reps,omitempty"`     // in-run repetitions, default 1
+	SkipAnalysis  bool  `json:"skip_analysis,omitempty"`
+
+	// b_eff_io knobs (defaults match cmd/robustness -io).
+	TSeconds float64 `json:"t_seconds,omitempty"` // scheduled virtual time, default 60
+
+	// Client identifies the submitter for per-client admission limits;
+	// the X-Beff-Client header takes precedence. Empty means
+	// "anonymous".
+	Client string `json:"client,omitempty"`
+}
+
+// normalize applies defaults in place.
+func (r *SweepRequest) normalize() {
+	if r.Reps == 0 {
+		r.Reps = 1
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.MaxLooplength == 0 {
+		r.MaxLooplength = 8
+	}
+	if r.InnerReps == 0 {
+		r.InnerReps = 1
+	}
+	if r.TSeconds == 0 {
+		r.TSeconds = 60
+	}
+}
+
+// validate rejects malformed requests with a message fit for the
+// error response body.
+func (r *SweepRequest) validate() error {
+	if r.Bench != "beff" && r.Bench != "beffio" {
+		return fmt.Errorf("bench must be %q or %q, got %q", "beff", "beffio", r.Bench)
+	}
+	if len(r.Machines) == 0 {
+		return fmt.Errorf("machines must name at least one profile")
+	}
+	for _, key := range r.Machines {
+		if _, err := machine.Lookup(key); err != nil {
+			return err
+		}
+	}
+	if len(r.Procs) == 0 {
+		return fmt.Errorf("procs must list at least one partition size")
+	}
+	for _, p := range r.Procs {
+		if p < 1 {
+			return fmt.Errorf("procs entries must be >= 1, got %d", p)
+		}
+	}
+	if r.Reps < 1 {
+		return fmt.Errorf("reps must be >= 1, got %d", r.Reps)
+	}
+	if r.Seed < 1 {
+		return fmt.Errorf("seed must be >= 1, got %d", r.Seed)
+	}
+	if r.MaxLooplength < 1 {
+		return fmt.Errorf("max_looplength must be >= 1, got %d", r.MaxLooplength)
+	}
+	if r.InnerReps < 1 {
+		return fmt.Errorf("inner_reps must be >= 1, got %d", r.InnerReps)
+	}
+	if r.TSeconds <= 0 {
+		return fmt.Errorf("t_seconds must be positive, got %v", r.TSeconds)
+	}
+	if r.Perturb != "" {
+		if _, err := perturb.Preset(r.Perturb); err != nil {
+			return fmt.Errorf("unknown perturb preset %q (have: %s)", r.Perturb, strings.Join(perturb.Presets(), ", "))
+		}
+	}
+	return nil
+}
+
+// tasks expands the request into pool tasks, one per
+// (machine, procs, rep) cell, in deterministic axis order. The cache
+// is threaded into every task so HTTP-served cells read and repair the
+// same .beffcache/ entries as CLI sweeps.
+func (r *SweepRequest) tasks(cache *runner.Cache) ([]runner.Task, error) {
+	var prof *perturb.Profile
+	if r.Perturb != "" {
+		p, err := perturb.Preset(r.Perturb)
+		if err != nil {
+			return nil, err
+		}
+		prof = p
+	}
+	tasks := make([]runner.Task, 0, len(r.Machines)*len(r.Procs)*r.Reps)
+	for _, key := range r.Machines {
+		for _, procs := range r.Procs {
+			for rep := 0; rep < r.Reps; rep++ {
+				switch r.Bench {
+				case "beff":
+					opt := core.Options{
+						LmaxOverride:  r.LmaxOverride,
+						Seed:          r.Seed,
+						MaxLooplength: r.MaxLooplength,
+						Reps:          r.InnerReps,
+						SkipAnalysis:  r.SkipAnalysis,
+					}
+					cell := runner.RobustBeffCell(key, procs, opt, prof, r.Seed, rep)
+					tasks = append(tasks, runner.JSONTask(cell, cache))
+				case "beffio":
+					opt := beffio.Options{T: des.DurationOf(r.TSeconds)}
+					cell := runner.RobustBeffIOCell(key, procs, opt, prof, r.Seed, rep)
+					tasks = append(tasks, runner.JSONTask(cell, cache))
+				default:
+					return nil, fmt.Errorf("bench %q", r.Bench)
+				}
+			}
+		}
+	}
+	return tasks, nil
+}
