@@ -1,0 +1,362 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hpcbench/beff/internal/obs"
+)
+
+// Tests for the store-backed cache: read-through migration from the
+// flat layout, degraded fallback when the writer lock is taken,
+// temp-file garbage collection, and write races.
+
+func TestReadThroughMigration(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	flat, err := OpenCacheBackend(dir, BackendFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs atomic.Int32
+	cells := make([]Cell[int], 10)
+	for i := range cells {
+		cells[i] = countingCell(&runs, fp{Machine: "legacy", Procs: i}, i)
+	}
+	Sweep(cells, Options{Cache: flat})
+	if runs.Load() != 10 {
+		t.Fatalf("seed runs = %d", runs.Load())
+	}
+
+	// Reopen on the store backend: every key must hit via read-through,
+	// migrate into the store, and leave no flat file behind.
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reg := obs.New()
+	c.Instrument(reg)
+	res := Sweep(cells, Options{Cache: c})
+	for i, r := range res {
+		if !r.Cached || r.Value != i {
+			t.Fatalf("cell %d not served through migration: %+v", i, r)
+		}
+	}
+	if runs.Load() != 10 {
+		t.Fatalf("migration recomputed: runs = %d", runs.Load())
+	}
+	if got := reg.Counter("runner_cache_migrated_total").Value(); got != 10 {
+		t.Fatalf("migrated counter = %d", got)
+	}
+	if flats, _ := filepath.Glob(filepath.Join(dir, "*.json")); len(flats) != 0 {
+		t.Fatalf("flat entries left after migration: %v", flats)
+	}
+	if c.Store().Len() != 10 {
+		t.Fatalf("store holds %d entries", c.Store().Len())
+	}
+
+	// The migrated entries survive a reopen without the flat files.
+	c.Close()
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	res = Sweep(cells, Options{Cache: c2})
+	if runs.Load() != 10 || !res[3].Cached {
+		t.Fatalf("migrated entries lost on reopen: runs=%d %+v", runs.Load(), res[3])
+	}
+}
+
+func TestDegradedSecondWriterFallsBackToFlat(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	holder, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+
+	// A second cache on the same directory cannot take the writer lock;
+	// it must degrade to flat entries instead of failing.
+	second, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Backend() != BackendFlat || second.Degraded() == nil {
+		t.Fatalf("second writer: backend=%s degraded=%v", second.Backend(), second.Degraded())
+	}
+	var runs atomic.Int32
+	cell := countingCell(&runs, fp{Machine: "degraded", Procs: 1}, 77)
+	Sweep([]Cell[int]{cell}, Options{Cache: second})
+	key, err := second.keyFor(cell.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(second.path(key)); err != nil {
+		t.Fatalf("degraded writer did not leave a flat entry: %v", err)
+	}
+
+	// The lock holder picks the flat entry up by read-through.
+	res := Sweep([]Cell[int]{cell}, Options{Cache: holder})
+	if runs.Load() != 1 || !res[0].Cached || res[0].Value != 77 {
+		t.Fatalf("holder did not migrate the degraded entry: runs=%d %+v", runs.Load(), res[0])
+	}
+	if _, err := os.Stat(second.path(key)); !os.IsNotExist(err) {
+		t.Fatalf("flat entry not cleaned up after migration: %v", err)
+	}
+}
+
+func TestOpenCacheCollectsStaleTempFiles(t *testing.T) {
+	for _, backend := range []string{BackendStore, BackendFlat} {
+		t.Run(backend, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "cache")
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			old := filepath.Join(dir, "deadbeef.tmp123456")
+			fresh := filepath.Join(dir, "cafef00d.tmp654321")
+			for _, p := range []string{old, fresh} {
+				if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			stale := time.Now().Add(-2 * tmpMaxAge)
+			if err := os.Chtimes(old, stale, stale); err != nil {
+				t.Fatal(err)
+			}
+			c, err := OpenCacheBackend(dir, backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			if _, err := os.Stat(old); !os.IsNotExist(err) {
+				t.Fatalf("stale temp file survived open: %v", err)
+			}
+			if _, err := os.Stat(fresh); err != nil {
+				t.Fatalf("fresh temp file collected: %v", err)
+			}
+		})
+	}
+}
+
+func TestGCLeavesStoreTempFilesToTheStore(t *testing.T) {
+	// seg-*.tmp is an uncommitted compaction output. The flat backend
+	// must not touch it regardless of age — only the store, under its
+	// writer lock, knows whether a compactor still owns it.
+	dir := filepath.Join(t.TempDir(), "cache")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	segTmp := filepath.Join(dir, "seg-00000009.cmp.tmp")
+	if err := os.WriteFile(segTmp, []byte("merge in progress"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stale := time.Now().Add(-2 * tmpMaxAge)
+	if err := os.Chtimes(segTmp, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCacheBackend(dir, BackendFlat); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(segTmp); err != nil {
+		t.Fatalf("flat backend touched the store's temp file: %v", err)
+	}
+	// The store backend reaps it during recovery, under the lock.
+	c, err := OpenCacheBackend(dir, BackendStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := os.Stat(segTmp); !os.IsNotExist(err) {
+		t.Fatalf("store did not reap its own temp file: %v", err)
+	}
+}
+
+func TestStorePoisonedEntryRecomputedAndRepaired(t *testing.T) {
+	cache := openTestCache(t)
+	var runs atomic.Int32
+	cell := countingCell(&runs, fp{Machine: "poisoned", Procs: 3}, 21)
+	Sweep([]Cell[int]{cell}, Options{Cache: cache})
+	key, err := cache.keyFor(cell.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, poison := range []string{
+		"{truncated",
+		`{"key":"x","fingerprint":{},"value":null}`,
+		`{"key":"x","value":"not an int"}`,
+		"",
+	} {
+		// A partial or corrupt write inside the store: the entry document
+		// is damaged even though the record framing is intact.
+		if err := cache.Store().Put(key, []byte(poison)); err != nil {
+			t.Fatal(err)
+		}
+		before := runs.Load()
+		res := Sweep([]Cell[int]{cell}, Options{Cache: cache})
+		if res[0].Cached || res[0].Err != nil || res[0].Value != 21 {
+			t.Fatalf("poisoned entry %q served: %+v", poison, res[0])
+		}
+		if runs.Load() != before+1 {
+			t.Fatalf("poisoned entry %q: body not re-invoked", poison)
+		}
+		res = Sweep([]Cell[int]{cell}, Options{Cache: cache})
+		if !res[0].Cached || res[0].Value != 21 {
+			t.Fatalf("entry not repaired after poison %q: %+v", poison, res[0])
+		}
+	}
+}
+
+func TestConcurrentSameKeyWriters(t *testing.T) {
+	// Sweep workers deduplicate in-flight work, but nothing stops two
+	// processes' worth of goroutines racing store() on one key. Last
+	// write wins; no torn reads; no errors surface.
+	for _, backend := range []string{BackendStore, BackendFlat} {
+		t.Run(backend, func(t *testing.T) {
+			c, err := OpenCacheBackend(filepath.Join(t.TempDir(), "cache"), backend)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			fingerprint := fp{Machine: "race", Procs: 1}
+			key, err := c.keyFor(fingerprint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						c.store(key, "race-cell", fingerprint, 42)
+						var got int
+						if c.load(key, &got) && got != 42 {
+							t.Errorf("torn read: %d", got)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			var got int
+			if !c.load(key, &got) || got != 42 {
+				t.Fatalf("final value = %d", got)
+			}
+		})
+	}
+}
+
+func TestStoreErrorsCounterOnClosedBackend(t *testing.T) {
+	// Persistence failures are swallowed but counted. Closing the store
+	// out from under the cache makes every Put fail deterministically.
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	c.Instrument(reg)
+	c.Store().Close()
+	var runs atomic.Int32
+	cell := countingCell(&runs, fp{Machine: "err", Procs: 1}, 5)
+	res := Sweep([]Cell[int]{cell}, Options{Cache: c})
+	if res[0].Err != nil || res[0].Value != 5 {
+		t.Fatalf("persistence failure leaked into the result: %+v", res[0])
+	}
+	if got := reg.Counter("runner_cache_store_errors_total").Value(); got == 0 {
+		t.Fatal("swallowed store failure not counted")
+	}
+}
+
+func TestLoadAfterPartialFlatWrite(t *testing.T) {
+	// A reader must never see a half-written flat entry as a hit: the
+	// writer goes through temp + rename, and a file torn mid-write (the
+	// crashed-writer case GC cleans up) decodes as a miss.
+	c := openFlatCache(t)
+	fingerprint := fp{Machine: "torn", Procs: 2}
+	key, err := c.keyFor(fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.store(key, "torn-cell", fingerprint, 13)
+	full, err := os.ReadFile(c.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full); cut += len(full)/8 + 1 {
+		if err := os.WriteFile(c.path(key), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got int
+		if c.load(key, &got) {
+			t.Fatalf("partial write of %d/%d bytes loaded as a hit", cut, len(full))
+		}
+	}
+}
+
+func TestFlagsCacheBackendSelection(t *testing.T) {
+	for _, tc := range []struct {
+		backend string
+		want    string
+	}{
+		{BackendStore, BackendStore},
+		{BackendFlat, BackendFlat},
+	} {
+		f := Flags{J: 1, Dir: filepath.Join(t.TempDir(), "cache"), Backend: tc.backend}
+		opt := f.Options("test")
+		if opt.Cache == nil {
+			t.Fatalf("backend %q: cache disabled", tc.backend)
+		}
+		if got := opt.Cache.Backend(); got != tc.want {
+			t.Fatalf("backend %q: got %q", tc.backend, got)
+		}
+		opt.Cache.Close()
+	}
+	// An unknown backend disables the cache rather than aborting.
+	f := Flags{J: 1, Dir: filepath.Join(t.TempDir(), "cache"), Backend: "bogus"}
+	if opt := f.Options("test"); opt.Cache != nil {
+		t.Fatal("unknown backend did not disable the cache")
+	}
+}
+
+func TestMigrationPreservesExactValueBytes(t *testing.T) {
+	// The golden-corpus guarantee: a value served through migration is
+	// byte-identical to the flat original. Store the raw entry document
+	// and compare the decoded value across backends.
+	dir := filepath.Join(t.TempDir(), "cache")
+	flat, err := OpenCacheBackend(dir, BackendFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		Protocol string    `json:"protocol"`
+		Points   []float64 `json:"points"`
+	}
+	fingerprint := fp{Machine: "golden", Procs: 16}
+	want := result{Protocol: "rendezvous", Points: []float64{1.5, 2.25, 1e-9}}
+	key, err := flat.keyFor(fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat.store(key, "golden-cell", fingerprint, want)
+
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var via result
+	if !c.load(key, &via) {
+		t.Fatal("migrated entry missed")
+	}
+	a, _ := json.Marshal(want)
+	b, _ := json.Marshal(via)
+	if string(a) != string(b) {
+		t.Fatalf("value changed across migration:\nflat:  %s\nstore: %s", a, b)
+	}
+}

@@ -33,6 +33,21 @@ func openTestCache(t *testing.T) *Cache {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if c.Backend() != BackendStore || c.Degraded() != nil {
+		t.Fatalf("default backend = %s (degraded: %v)", c.Backend(), c.Degraded())
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// openFlatCache opens the legacy flat-file backend, for tests that poke
+// at the one-file-per-entry layout directly.
+func openFlatCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := OpenCacheBackend(filepath.Join(t.TempDir(), "cache"), BackendFlat)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return c
 }
 
@@ -68,7 +83,7 @@ func TestCacheHitMissInvalidation(t *testing.T) {
 }
 
 func TestCorruptedEntryFallsBackToRecompute(t *testing.T) {
-	cache := openTestCache(t)
+	cache := openFlatCache(t)
 	var runs atomic.Int32
 	cell := countingCell(&runs, fp{Machine: "t3e", Procs: 2}, 7)
 
@@ -102,7 +117,7 @@ func TestNullValueEntryFallsBackToRecompute(t *testing.T) {
 	// pointer-typed result by setting it to nil — a poisoned hit that
 	// downstream code dereferences. It must be treated as corruption:
 	// miss, recompute, repair.
-	cache := openTestCache(t)
+	cache := openFlatCache(t)
 	var runs atomic.Int32
 	type payload struct{ N int }
 	cell := Cell[*payload]{
@@ -147,7 +162,7 @@ func TestCodeVersionSaltInvalidates(t *testing.T) {
 	cell := countingCell(&runs, fp{Machine: "sp", Procs: 4}, 9)
 	Sweep([]Cell[int]{cell}, Options{Cache: cache})
 
-	stale := &Cache{dir: cache.dir, salt: "older-sim-version"}
+	stale := cache.withSalt("older-sim-version")
 	res := Sweep([]Cell[int]{cell}, Options{Cache: stale})
 	if res[0].Cached || runs.Load() != 2 {
 		t.Fatalf("entry from a different code version served: %+v", res[0])
@@ -181,7 +196,7 @@ func TestFailedCellNotStored(t *testing.T) {
 }
 
 func TestCacheEntryIsInspectable(t *testing.T) {
-	cache := openTestCache(t)
+	cache := openFlatCache(t)
 	cell := countingCell(new(atomic.Int32), fp{Machine: "sx5", Procs: 4}, 5)
 	Sweep([]Cell[int]{cell}, Options{Cache: cache})
 	key, _ := cache.keyFor(cell.Fingerprint)

@@ -8,10 +8,12 @@ import (
 )
 
 // Flags bundles the standard sweep CLI knobs so every command spells
-// them the same way: -j (workers), -cache (directory), -no-cache.
+// them the same way: -j (workers), -cache (directory), -cache-backend,
+// -no-cache.
 type Flags struct {
 	J       int
 	Dir     string
+	Backend string
 	NoCache bool
 }
 
@@ -19,19 +21,25 @@ type Flags struct {
 func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.J, "j", runtime.GOMAXPROCS(0), "parallel workers for independent simulation cells")
 	fs.StringVar(&f.Dir, "cache", DefaultCacheDir, "result cache directory")
+	fs.StringVar(&f.Backend, "cache-backend", BackendStore, "cache backend: store (segment log) or flat (one file per entry)")
 	fs.BoolVar(&f.NoCache, "no-cache", false, "recompute everything, ignore and do not write the cache")
 }
 
 // Options resolves the flags into sweep Options with progress on
 // stderr. A cache directory that cannot be created degrades to an
-// uncached run with a warning — it never aborts the sweep.
+// uncached run with a warning — it never aborts the sweep — and a
+// store backend another process has locked degrades to flat entries
+// the lock holder migrates in later.
 func (f *Flags) Options(label string) Options {
 	opt := Options{Workers: f.J, Progress: os.Stderr, Label: label}
 	if !f.NoCache {
-		c, err := OpenCache(f.Dir)
+		c, err := OpenCacheBackend(f.Dir, f.Backend)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: cache disabled: %v\n", label, err)
 		} else {
+			if err := c.Degraded(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: cache degraded to flat backend: %v\n", label, err)
+			}
 			opt.Cache = c
 		}
 	}

@@ -43,10 +43,12 @@ type Config struct {
 	Workers int
 
 	// CacheDir roots the shared result cache ("" means
-	// runner.DefaultCacheDir); NoCache disables on-disk memoisation
+	// runner.DefaultCacheDir); CacheBackend selects its layout ("" means
+	// runner.BackendStore); NoCache disables on-disk memoisation
 	// (in-flight dedupe still applies).
-	CacheDir string
-	NoCache  bool
+	CacheDir     string
+	CacheBackend string
+	NoCache      bool
 
 	// QueueLimit bounds cells admitted but not yet finished,
 	// server-wide; a submission that would exceed it is rejected with
@@ -107,10 +109,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	var cache *runner.Cache
 	if !cfg.NoCache {
-		c, err := runner.OpenCache(cfg.CacheDir)
+		c, err := runner.OpenCacheBackend(cfg.CacheDir, cfg.CacheBackend)
 		if err != nil {
 			return nil, err
 		}
+		c.Instrument(reg)
 		cache = c
 	}
 	s := &Server{
@@ -148,6 +151,15 @@ func (s *Server) CacheDir() string {
 	return s.cache.Dir()
 }
 
+// CacheBackend reports the active cache backend (runner.BackendStore
+// or runner.BackendFlat), or "" when caching is disabled.
+func (s *Server) CacheBackend() string {
+	if s.cache == nil {
+		return ""
+	}
+	return s.cache.Backend()
+}
+
 // Handler returns the full route table.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -165,10 +177,12 @@ func (s *Server) Handler() http.Handler {
 
 // Drain gracefully retires the server: admission stops (submissions
 // get 503 reason "draining"), every admitted cell — queued or running
-// — completes, job watchers flush, and Drain returns. The result
-// cache needs no separate flush: every entry is written atomically at
-// cell completion. Returns ctx.Err if the context expires first;
-// cells still running are not interrupted.
+// — completes, job watchers flush, the cache's store backend releases
+// its writer lock, and Drain returns. The result cache needs no
+// separate flush: every entry is written atomically at cell
+// completion. Returns ctx.Err if the context expires first; cells
+// still running are not interrupted (and the cache stays open so they
+// can persist their results).
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -177,6 +191,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	go func() {
 		s.pool.Close()
 		s.watchers.Wait()
+		s.cache.Close()
 		close(done)
 	}()
 	select {

@@ -569,3 +569,99 @@ func TestCacheSharedAcrossRequests(t *testing.T) {
 		t.Fatalf("cache hits %v, want 1", v.Value)
 	}
 }
+
+// TestStoreMetricsExported: the cache's store backend publishes its
+// instruments into the service registry, so /metrics exposes segment
+// and entry gauges plus the swallowed-persistence-failure counter.
+func TestStoreMetricsExported(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	if got := s.CacheBackend(); got != runner.BackendStore {
+		t.Fatalf("cache backend = %q", got)
+	}
+	code, data := post(t, ts, "/api/v1/sweeps", quickSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", code, data)
+	}
+	st := decodeStatus(t, data)
+	waitState(t, ts, st.ID, func(j JobStatus) bool { return j.State == "done" })
+
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	for _, name := range []string{
+		"store_puts_total",
+		"store_gets_total",
+		"store_get_misses_total",
+		"store_segments",
+		"store_entries_live",
+		"store_bytes_live",
+		"store_compactions_total",
+		"runner_cache_store_errors_total",
+		"runner_cache_migrated_total",
+	} {
+		if !strings.Contains(string(body), name) {
+			t.Fatalf("/metrics missing %s:\n%s", name, body)
+		}
+	}
+	snap := s.Registry().Snapshot()
+	if v, ok := snap.Get("store_entries_live"); !ok || v.Value != 1 {
+		t.Fatalf("store_entries_live = %+v, %v", v, ok)
+	}
+	if v, ok := snap.Get("store_puts_total"); !ok || v.Value != 1 {
+		t.Fatalf("store_puts_total = %+v, %v", v, ok)
+	}
+	if v, ok := snap.Get("runner_cache_store_errors_total"); !ok || v.Value != 0 {
+		t.Fatalf("runner_cache_store_errors_total = %+v, %v", v, ok)
+	}
+}
+
+// TestGoldenAcrossCacheBackends is the migration acceptance pin: the
+// same golden cell served from a flat cache, from a store that
+// migrated that flat cache, and from a fresh store must all be
+// byte-identical to the corpus entry.
+func TestGoldenAcrossCacheBackends(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("..", "check", "testdata", "golden", "beff_t3e.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetch := func(t *testing.T, cfg Config) (*Server, []byte) {
+		s, ts := newTestServer(t, cfg)
+		code, data := post(t, ts, "/api/v1/sweeps", goldenSpec)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: %d: %s", code, data)
+		}
+		st := decodeStatus(t, data)
+		waitState(t, ts, st.ID, func(j JobStatus) bool { return j.State == "done" })
+		code, cell := get(t, ts, "/api/v1/jobs/"+st.ID+"/cells/0")
+		if code != http.StatusOK {
+			t.Fatalf("cell fetch: %d: %s", code, cell)
+		}
+		return s, cell
+	}
+
+	dir := filepath.Join(t.TempDir(), "cache")
+	t.Run("flat", func(t *testing.T) {
+		_, cell := fetch(t, Config{Workers: 2, CacheDir: dir, CacheBackend: runner.BackendFlat})
+		if !bytes.Equal(cell, want) {
+			t.Fatalf("flat backend differs from golden (%d vs %d bytes)", len(cell), len(want))
+		}
+	})
+	t.Run("migrated-store", func(t *testing.T) {
+		// Same cache dir, store backend: the cell is served through
+		// read-through migration of the flat entry, not recomputed.
+		s, cell := fetch(t, Config{Workers: 2, CacheDir: dir})
+		if !bytes.Equal(cell, want) {
+			t.Fatalf("migrated store differs from golden (%d vs %d bytes)", len(cell), len(want))
+		}
+		if v, ok := s.Registry().Snapshot().Get("runner_cache_migrated_total"); !ok || v.Value == 0 {
+			t.Fatalf("cell was not served via migration: %+v, %v", v, ok)
+		}
+	})
+	t.Run("fresh-store", func(t *testing.T) {
+		_, cell := fetch(t, Config{Workers: 2, CacheDir: filepath.Join(t.TempDir(), "fresh")})
+		if !bytes.Equal(cell, want) {
+			t.Fatalf("fresh store differs from golden (%d vs %d bytes)", len(cell), len(want))
+		}
+	})
+}

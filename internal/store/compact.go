@@ -1,0 +1,233 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// errCrashed is returned by the compaction test hooks; it marks the
+// points where a real crash would leave the log mid-merge.
+var errCrashed = errors.New("store: compaction aborted by test hook")
+
+// Compact synchronously merges every sealed segment — all but the
+// active one — into a single compaction generation, dropping
+// superseded and tombstoned records. Readers proceed throughout;
+// writers are blocked only for the final commit swap. A no-op when a
+// compaction is already running or there is nothing sealed.
+//
+// Crash safety: the merged output is written to seg-N.cmp.tmp and
+// renamed to seg-N.cmp only after an fsync — that rename is the commit
+// point. A crash before it leaves the old segments untouched (the tmp
+// is discarded on the next open); a crash after it but before the old
+// segments are deleted is healed on open, where the generation file
+// supersedes every segment with id <= N.
+func (s *Store) Compact() error {
+	if s.opts.ReadOnly {
+		return ErrReadOnly
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer s.compacting.Store(false)
+	return s.compact()
+}
+
+// maybeCompact starts a background compaction when the sealed dead
+// ratio crosses the configured thresholds. Caller holds wmu.
+func (s *Store) maybeCompact() {
+	if s.opts.NoAutoCompact {
+		return
+	}
+	s.mu.RLock()
+	var sealedTotal, sealedLive int64
+	sealed := 0
+	for _, seg := range s.segs {
+		if seg == s.active {
+			continue
+		}
+		sealed++
+		sealedTotal += seg.size
+		sealedLive += seg.live
+	}
+	s.mu.RUnlock()
+	dead := sealedTotal - sealedLive
+	if sealed == 0 || dead < s.opts.CompactMinBytes || float64(dead) < s.opts.CompactFraction*float64(sealedTotal) {
+		return
+	}
+	if !s.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer s.compacting.Store(false)
+		s.compact() // a failed background pass retries on a later write
+	}()
+}
+
+// compact does the merge. Caller owns the compacting flag.
+func (s *Store) compact() error {
+	// Snapshot the sealed set and the live entries inside it. Sealed
+	// segments are immutable, so the copy phase below needs no lock;
+	// entries superseded or deleted while we copy are resolved at the
+	// commit swap, which only repoints index entries that still refer
+	// to the snapshot set.
+	type item struct {
+		key string
+		loc recLoc
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	activeID := s.active.id
+	sealedSet := map[uint64]bool{}
+	handles := map[uint64]*os.File{}
+	oldSegs := []*segment{}
+	var oldBytes int64
+	var maxID uint64
+	for id, seg := range s.segs {
+		if id == activeID {
+			continue
+		}
+		sealedSet[id] = true
+		handles[id] = seg.f
+		oldSegs = append(oldSegs, seg)
+		oldBytes += seg.size
+		if id > maxID {
+			maxID = id
+		}
+	}
+	var items []item
+	for k, loc := range s.index {
+		if sealedSet[loc.seg] {
+			items = append(items, item{key: k, loc: loc})
+		}
+	}
+	s.mu.RUnlock()
+	if len(sealedSet) == 0 {
+		return nil
+	}
+	// Copy in (segment, offset) order: sequential reads per source file.
+	sort.Slice(items, func(i, j int) bool {
+		a, b := items[i].loc, items[j].loc
+		if a.seg != b.seg {
+			return a.seg < b.seg
+		}
+		return a.off < b.off
+	})
+
+	tmpPath := filepath.Join(s.dir, segName(maxID, true)+tmpSuffix)
+	tmp, err := os.OpenFile(tmpPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	newLocs := make(map[string]recLoc, len(items))
+	var off int64
+	var rbuf []byte
+	for _, it := range items {
+		if int64(cap(rbuf)) < it.loc.size {
+			rbuf = make([]byte, it.loc.size)
+		}
+		rec := rbuf[:it.loc.size]
+		if _, err := handles[it.loc.seg].ReadAt(rec, it.loc.off); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compact: read %s: %w", it.key, err)
+		}
+		if _, _, _, err := decodeRecord(rec); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compact: %s: %w", it.key, err)
+		}
+		if _, err := bw.Write(rec); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compact: %w", err)
+		}
+		newLocs[it.key] = recLoc{seg: maxID, off: off, size: it.loc.size}
+		off += it.loc.size
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	if s.crashBeforeCommit {
+		return errCrashed // tmp left behind, exactly like a real crash
+	}
+
+	// Commit: rename (the durability point), then swap the in-memory
+	// view under the write locks, then delete the merged inputs.
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cmpPath := filepath.Join(s.dir, segName(maxID, true))
+	if err := os.Rename(tmpPath, cmpPath); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact: commit: %w", err)
+	}
+	nf, err := os.Open(cmpPath)
+	if err != nil {
+		return fmt.Errorf("store: compact: commit: %w", err)
+	}
+	newSeg := &segment{id: maxID, compacted: true, f: nf, size: off}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		nf.Close()
+		return ErrClosed // the rename already happened; next open heals
+	}
+	for id := range sealedSet {
+		delete(s.segs, id)
+	}
+	s.segs[maxID] = newSeg
+	for key, loc := range newLocs {
+		if cur, ok := s.index[key]; ok && sealedSet[cur.seg] {
+			s.index[key] = loc
+		}
+	}
+	// Re-derive per-segment live bytes: entries may have moved to the
+	// active segment (superseded) or vanished (deleted) while copying.
+	for _, seg := range s.segs {
+		seg.live = 0
+	}
+	for _, loc := range s.index {
+		s.segs[loc.seg].live += loc.size
+	}
+	s.mu.Unlock()
+	s.compactions.Add(1)
+	s.met().Compactions.Inc()
+	if reclaimed := oldBytes - off; reclaimed > 0 {
+		s.met().ReclaimedBytes.Add(reclaimed)
+	}
+
+	if s.crashAfterCommit {
+		return errCrashed // old segments left behind; next open heals
+	}
+	for _, seg := range oldSegs {
+		seg.f.Close()
+		// Re-compacting an existing generation reuses its id, so the
+		// rename above already replaced that file — don't delete it.
+		if p := filepath.Join(s.dir, seg.name()); p != cmpPath {
+			os.Remove(p)
+		}
+	}
+	s.updateGauges()
+	return nil
+}

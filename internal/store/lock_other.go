@@ -1,0 +1,37 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// lockFile is the non-unix single-writer guard: an O_EXCL sentinel
+// file. Unlike flock it survives a crash, so a stale LOCK after an
+// unclean exit must be removed by the operator (the file records the
+// owning pid to make that call an informed one).
+type lockFile struct {
+	path string
+	f    *os.File
+}
+
+func acquireLock(path string) (*lockFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrLocked, path)
+		}
+		return nil, fmt.Errorf("store: open lock: %w", err)
+	}
+	fmt.Fprintf(f, "%d\n", os.Getpid())
+	return &lockFile{path: path, f: f}, nil
+}
+
+func (l *lockFile) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	l.f.Close()
+	return os.Remove(l.path)
+}

@@ -1,0 +1,45 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile is the store's single-writer guard: an exclusive,
+// non-blocking flock on dir/LOCK. The kernel releases the lock when
+// the holding process exits — including a crash — so a stale lock
+// file never wedges the store, and the file itself is deliberately
+// never removed (removing it would let a second writer lock a fresh
+// inode while the first still holds the old one).
+type lockFile struct {
+	f *os.File
+}
+
+// acquireLock takes the writer lock, failing with ErrLocked when
+// another process (or another Store in this process) holds it.
+func acquireLock(path string) (*lockFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrLocked, path)
+	}
+	// The pid is advisory, for operators inspecting a busy store.
+	f.Truncate(0)
+	fmt.Fprintf(f, "%d\n", os.Getpid())
+	return &lockFile{f: f}, nil
+}
+
+// release drops the lock. The LOCK file stays on disk by design.
+func (l *lockFile) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	return l.f.Close()
+}
