@@ -31,6 +31,7 @@ import (
 	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/des"
 	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/mpi"
 )
 
 // CellResult is the measured cost of one benchmark cell.
@@ -48,6 +49,7 @@ type CellResult struct {
 type Report struct {
 	Generated string                `json:"generated"`
 	GoVersion string                `json:"go_version"`
+	NumCPU    int                   `json:"num_cpu,omitempty"` // host cores: context for the sharded-cell walls
 	Quick     bool                  `json:"quick,omitempty"`
 	PeakRSSKB int64                 `json:"peak_rss_kb,omitempty"` // omitted where getrusage is unavailable
 	Cells     []CellResult          `json:"cells"`
@@ -68,7 +70,7 @@ type cell struct {
 	run  func() (ops int64, headlineMB float64, err error)
 }
 
-func cells(quick bool) []cell {
+func cells(quick bool, shards int) []cell {
 	beffCell := func(key string, procs, maxLoop int, skipAnalysis bool) cell {
 		return cell{
 			name: fmt.Sprintf("beff_%s_%d", key, procs),
@@ -92,6 +94,36 @@ func cells(quick bool) []cell {
 					return 0, 0, err
 				}
 				return w.Net.Messages(), res.Beff / 1e6, nil
+			},
+		}
+	}
+	// beffShardCell is the same workload through the sharded executor:
+	// ops come from the executor's exact message accounting (equal to
+	// the sequential count — see TestShardMessageParity), so ns/op is
+	// directly comparable with the sequential twin. The wall delta
+	// between the pair is the shard speedup on this host; it scales
+	// with core count (speculative chain worlds run in parallel) and
+	// degrades to roughly 1x on a single core.
+	beffShardCell := func(key string, procs, maxLoop int, skipAnalysis bool) cell {
+		return cell{
+			name: fmt.Sprintf("beff_%s_%d_shards%d", key, procs, shards),
+			run: func() (int64, float64, error) {
+				p, err := machine.Lookup(key)
+				if err != nil {
+					return 0, 0, err
+				}
+				factory := func([]des.Time) (mpi.WorldConfig, error) { return p.BuildWorld(procs) }
+				res, st, err := core.RunSharded(factory, core.Options{
+					MemoryPerProc: p.MemoryPerProc,
+					Seed:          1,
+					MaxLooplength: maxLoop,
+					Reps:          1,
+					SkipAnalysis:  skipAnalysis,
+				}, core.ShardOptions{Shards: shards})
+				if err != nil {
+					return 0, 0, err
+				}
+				return st.Messages, res.Beff / 1e6, nil
 			},
 		}
 	}
@@ -122,16 +154,24 @@ func cells(quick bool) []cell {
 	if quick {
 		return []cell{
 			beffCell("t3e", 16, 2, true),
+			beffShardCell("t3e", 16, 2, true),
 			beffioCell("t3e", 8, des.DurationOf(0.2)),
 		}
 	}
 	return []cell{
 		// The acceptance cell: 64 ranks on the torus machine, the
 		// workload where slot scans, routing, and per-message
-		// allocations dominate.
+		// allocations dominate — sequential and sharded, as a
+		// before/after pair.
 		beffCell("t3e", 64, 4, false),
+		beffShardCell("t3e", 64, 4, false),
 		beffCell("cluster", 32, 4, true),
 		beffioCell("t3e", 16, des.DurationOf(0.5)),
+		// The -quick cells ride along so the CI gate (bench -quick
+		// -gate) always finds its baselines in the committed report.
+		beffCell("t3e", 16, 2, true),
+		beffShardCell("t3e", 16, 2, true),
+		beffioCell("t3e", 8, des.DurationOf(0.2)),
 	}
 }
 
@@ -175,11 +215,16 @@ func main() {
 		iters    = flag.Int("iters", 3, "repetitions per cell (best wall time counts)")
 		out      = flag.String("o", "BENCH_core.json", "output JSON path ('-' for stdout only)")
 		baseline = flag.String("baseline", "", "prior bench JSON to embed and compute speedups against")
+		shards   = flag.Int("shards", 4, "worker count of the sharded executor cells")
+		gate     = flag.String("gate", "", "regression gate: compare against this committed bench JSON and exit 1 on >10% wall slowdown or any allocs/op increase")
 	)
 	flag.Parse()
 	c.Validate()
-	if *iters < 1 {
+	switch {
+	case *iters < 1:
 		c.UsageErr("-iters must be >= 1, got %d", *iters)
+	case *shards < 1:
+		c.UsageErr("-shards must be >= 1, got %d", *shards)
 	}
 
 	fatal := c.Fatal
@@ -188,9 +233,10 @@ func main() {
 	rep := Report{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
 		Quick:     *quick,
 	}
-	for _, c := range cells(*quick) {
+	for _, c := range cells(*quick, *shards) {
 		r, err := measure(c, *iters)
 		fatal(err)
 		fmt.Printf("%-20s %10d ops  %8.1f ns/op  %6.2f allocs/op  %8.1f B/op  wall %6.3fs  headline %.2f MB/s\n",
@@ -222,17 +268,115 @@ func main() {
 		}
 	}
 
+	var gateFailures []string
+	if *gate != "" {
+		var committed Report
+		data, err := os.ReadFile(*gate)
+		fatal(err)
+		fatal(json.Unmarshal(data, &committed))
+		// Allocation counts are deterministic, so that half of the gate
+		// is judged immediately. Wall clock is noisy even best-of-iters
+		// on shared runners, so a cell failing only on wall is
+		// re-measured up to two extra rounds (keeping the overall best)
+		// before the verdict sticks: a real slowdown survives
+		// re-measurement, scheduler noise rarely does.
+		byName := map[string]cell{}
+		for _, cl := range cells(*quick, *shards) {
+			byName[cl.name] = cl
+		}
+		for round := 0; ; round++ {
+			var suspects []string
+			gateFailures, suspects = runGate(&rep, committed.Cells)
+			if len(suspects) == 0 || round == 2 {
+				break
+			}
+			fmt.Printf("gate: re-measuring %d wall-suspect cell(s), round %d/2\n", len(suspects), round+1)
+			for _, name := range suspects {
+				cl, ok := byName[name]
+				if !ok {
+					continue
+				}
+				r, err := measure(cl, *iters)
+				fatal(err)
+				for i := range rep.Cells {
+					if rep.Cells[i].Name != name {
+						continue
+					}
+					if r.WallSec < rep.Cells[i].WallSec {
+						rep.Cells[i].WallSec = r.WallSec
+						rep.Cells[i].NsPerOp = r.NsPerOp
+					}
+					if r.AllocsPerA < rep.Cells[i].AllocsPerA {
+						rep.Cells[i].AllocsPerA = r.AllocsPerA
+						rep.Cells[i].BytesPerOp = r.BytesPerOp
+					}
+				}
+			}
+		}
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	fatal(err)
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
-	}
-	fatal(os.WriteFile(*out, data, 0o644))
-	if rep.PeakRSSKB > 0 {
-		fmt.Printf("wrote %s (peak RSS %d kB)\n", *out, rep.PeakRSSKB)
 	} else {
-		fmt.Printf("wrote %s\n", *out)
+		fatal(os.WriteFile(*out, data, 0o644))
+		if rep.PeakRSSKB > 0 {
+			fmt.Printf("wrote %s (peak RSS %d kB)\n", *out, rep.PeakRSSKB)
+		} else {
+			fmt.Printf("wrote %s\n", *out)
+		}
 	}
+	if len(gateFailures) > 0 {
+		for _, f := range gateFailures {
+			fmt.Fprintf(os.Stderr, "bench: gate: %s\n", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// gateWallTolerance is the allowed relative wall-clock drift against
+// the committed report before the gate fails the run.
+const gateWallTolerance = 0.10
+
+// runGate compares the fresh measurements against the committed cells
+// and returns one message per violation — a wall slowdown beyond the
+// tolerance, or any allocs/op growth (the simulator is deterministic,
+// so allocation counts must not drift at all; a hair of slack absorbs
+// runtime-internal noise) — plus the names of cells whose only offence
+// is wall time, which the caller may re-measure before accepting the
+// verdict. Large improvements pass but are called out on stdout so the
+// committed file gets regenerated. The deltas are recorded in the
+// report (Baseline/Speedups), which CI uploads as the artifact.
+func runGate(rep *Report, committed []CellResult) (failures, wallSuspects []string) {
+	rep.Baseline = committed
+	rep.Speedups = map[string]SpeedupRow{}
+	for _, cur := range rep.Cells {
+		for _, base := range committed {
+			if base.Name != cur.Name || base.WallSec <= 0 {
+				continue
+			}
+			row := SpeedupRow{Wall: base.WallSec / cur.WallSec, Allocs: 0}
+			if cur.AllocsPerA > 0 {
+				row.Allocs = base.AllocsPerA / cur.AllocsPerA
+			}
+			rep.Speedups[cur.Name] = row
+			slow := cur.WallSec/base.WallSec - 1
+			switch {
+			case slow > gateWallTolerance:
+				failures = append(failures, fmt.Sprintf("%s: wall %.3fs is %.0f%% over the committed %.3fs",
+					cur.Name, cur.WallSec, slow*100, base.WallSec))
+				wallSuspects = append(wallSuspects, cur.Name)
+			case slow < -gateWallTolerance:
+				fmt.Printf("%-20s gate: %.0f%% faster than the committed report — regenerate BENCH_core.json to keep it honest\n",
+					cur.Name, -slow*100)
+			}
+			if cur.AllocsPerA > base.AllocsPerA+1e-3 {
+				failures = append(failures, fmt.Sprintf("%s: %.4f allocs/op, committed %.4f (allocation growth is gated at zero)",
+					cur.Name, cur.AllocsPerA, base.AllocsPerA))
+			}
+		}
+	}
+	return failures, wallSuspects
 }

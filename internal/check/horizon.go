@@ -1,0 +1,80 @@
+package check
+
+import (
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/simnet"
+)
+
+// HorizonWatch is the causality watch for sharded (conservative-
+// parallel) execution. A sharded run replays slices of the benchmark
+// in detached worlds; each world starts its ranks at recorded entry
+// times, and the partition of the fabric into shard regions carries a
+// lookahead — the minimum cross-region route latency. The watch
+// re-verifies, against every transfer the world actually books, the
+// two claims the executor relies on:
+//
+//  1. isolation — no transfer engages before the horizon of its
+//     source's shard region (the earliest entry time of that region's
+//     ranks). A violation means the slice reached back across its cut
+//     and the replay is not equivalent to the sequential run.
+//  2. lookahead soundness — the declared lookahead never exceeds the
+//     route latency of an observed cross-region pair. A violation
+//     means the partitioner's lookahead extraction overclaimed, and a
+//     conservative scheduler trusting it could admit a causality
+//     error of up to the difference.
+type HorizonWatch struct {
+	c         *Checker
+	fabric    simnet.Fabric
+	shardOf   []int
+	horizons  []des.Time
+	lookahead des.Duration
+}
+
+// WatchHorizon installs a HorizonWatch on the network of one detached
+// shard world. parts is the fabric partition (see simnet.Partition),
+// entries the per-rank virtual times the world starts from, and
+// lookahead the claimed minimum cross-region route latency (a negative
+// lookahead — simnet.Lookahead's "unbounded" marker for single-region
+// partitions — disables the soundness check). The horizon of each
+// region is derived as the minimum entry time of its ranks.
+func (c *Checker) WatchHorizon(net *simnet.Net, parts [][]int, entries []des.Time, lookahead des.Duration) *HorizonWatch {
+	f := net.Config().Fabric
+	shardOf := simnet.ShardOf(f.NumProcs(), parts)
+	horizons := make([]des.Time, len(parts))
+	for s, part := range parts {
+		first := true
+		for _, p := range part {
+			if p >= len(entries) {
+				continue
+			}
+			if first || entries[p] < horizons[s] {
+				horizons[s] = entries[p]
+				first = false
+			}
+		}
+	}
+	w := &HorizonWatch{c: c, fabric: f, shardOf: shardOf, horizons: horizons, lookahead: lookahead}
+	net.Observe(w.ObserveTransfer)
+	return w
+}
+
+// ObserveTransfer checks one booked transfer against the horizon and
+// lookahead claims. It is the installed hook body, exported so the
+// deliberate-violation tests can drive it directly.
+func (w *HorizonWatch) ObserveTransfer(src, dst int, size int64, start, end des.Time) {
+	if src < 0 || src >= len(w.shardOf) || dst < 0 || dst >= len(w.shardOf) {
+		return // endpoint range is NetWatch's invariant
+	}
+	ss, ds := w.shardOf[src], w.shardOf[dst]
+	if ss >= 0 && start < w.horizons[ss] {
+		w.c.Reportf("shard/horizon", "transfer %d→%d of %d B engages at %v, before shard %d's horizon %v",
+			src, dst, size, start, ss, w.horizons[ss])
+	}
+	if ss < 0 || ds < 0 || ss == ds || w.lookahead < 0 {
+		return
+	}
+	if _, lat := w.fabric.Path(src, dst); w.lookahead > lat {
+		w.c.Reportf("shard/lookahead", "declared lookahead %v exceeds the %v route latency of cross-shard pair %d→%d",
+			w.lookahead, lat, src, dst)
+	}
+}

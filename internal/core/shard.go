@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/mpi"
+	"github.com/hpcbench/beff/internal/obs"
+	"github.com/hpcbench/beff/internal/stats"
+)
+
+// Sharded conservative-parallel execution of the b_eff protocol.
+//
+// The benchmark's measurement schedule is a sequence of units — one
+// timed loop bracketed by an opening barrier and a closing max-
+// allreduce — grouped into (pattern, method) chains of consecutive
+// units. Each unit boundary is a quiescent cut: every message sent
+// within a unit is consumed within it, every resource reservation ends
+// at or before the cut, and the integer virtual timeline of a unit is
+// exactly translation-invariant. A chain replayed in a detached world
+// whose ranks first sleep until their recorded entry times therefore
+// reproduces the sequential run bit for bit.
+//
+// The executor exploits this conservatively: shard workers simulate
+// chains speculatively in parallel worlds (each chain guesses its
+// per-rank entry-skew vector and its looplength schedule), while a
+// sequential commit pass walks the chains in schedule order,
+// validates every speculated input by exact integer comparison
+// against the lower-bound-timestamp frontier, reconstructs the float
+// timings in the absolute time frame, and re-simulates from the exact
+// frontier whenever a speculation missed. Byte-identical output at
+// every shard count is structural — nothing is committed that was not
+// either validated exactly or re-simulated sequentially — and the
+// shard count only changes how much speculation wins.
+
+// WorldFactory builds a fresh world for one detached slice of a
+// sharded run. entries, when non-nil, are the per-rank virtual times
+// the slice will start from (the executor parks each rank there before
+// running the slice); nil means the world starts at time zero.
+// Factories are called concurrently from shard workers and must build
+// fully independent worlds — a fresh Net and fresh observer state per
+// call.
+type WorldFactory func(entries []des.Time) (mpi.WorldConfig, error)
+
+// ShardOptions configures RunSharded beyond the benchmark Options.
+type ShardOptions struct {
+	// Shards is the number of concurrent shard workers. Values <= 1
+	// run the plain sequential engine.
+	Shards int
+
+	// NoSpec disables speculative chain worlds: every chain after the
+	// first re-simulates at the exact committed frontier. Callers must
+	// set it when the world factory's behaviour depends on absolute
+	// virtual time — a perturbation profile, notably — because a
+	// speculative world runs in a translated time frame and would
+	// sample such behaviour at the wrong instants, which entry-skew
+	// validation alone cannot detect. Re-simulated worlds start at the
+	// true absolute times, where time-dependent hooks (pure functions
+	// of virtual time) behave identically to the sequential run, so
+	// byte-exactness is preserved at the cost of the parallelism.
+	NoSpec bool
+
+	// Obs, when non-nil, receives the executor's instruments:
+	// beff_shard_* counters for chains, unit speculation hits/misses,
+	// re-simulated units, and the commit-frontier stall time.
+	Obs *obs.Registry
+}
+
+// ShardStats reports what the sharded executor did. The result of the
+// run never depends on these numbers — only the wall clock does.
+type ShardStats struct {
+	Shards        int
+	Chains        int           // (pattern, method) chains executed
+	SpecHitUnits  int           // units committed straight from a speculative world
+	SpecMissUnits int           // units whose speculation was discarded
+	ResimUnits    int           // units re-simulated at the exact frontier
+	Messages      int64         // total simulated messages across all committed worlds
+	FrontierStall time.Duration // wall time the commit pass spent waiting for workers
+}
+
+// chainUnit is one committed or speculated measurement unit inside a
+// chain world.
+type chainUnit struct {
+	rec  *unitRecorder
+	ll   int
+	out  float64 // closing allreduce value in the world's own time frame
+	msgs int64   // cumulative world message count at unit exit
+}
+
+// chainRun is the outcome of simulating one (pattern, method) chain in
+// a single detached world.
+type chainRun struct {
+	entries []des.Time // per-rank start times the world used (nil = zeros)
+	units   []chainUnit
+	total   int64 // world message count after the run
+	err     error
+}
+
+// runChainIn simulates the units of one (pattern, method) chain — the
+// given message sizes, opt.Reps repetitions each — in the provided
+// world, starting each rank at entries[r] (nil = time zero) and
+// chaining looplengths from startLL exactly like measurePatterns. The
+// engine horizon is armed at min(entries): a replay that books any
+// event before its cut aborts instead of committing a wrong slice.
+func runChainIn(cfg mpi.WorldConfig, entries []des.Time, pat *Pattern, m Method, startLL int, sizes []int64, opt Options) *chainRun {
+	n := cfg.Procs
+	if n == 0 && cfg.Net != nil {
+		n = cfg.Net.NumProcs()
+	}
+	cr := &chainRun{entries: entries, units: make([]chainUnit, len(sizes)*opt.Reps)}
+	for i := range cr.units {
+		cr.units[i].rec = newUnitRecorder(n)
+	}
+	var horizon des.Time
+	if entries != nil {
+		horizon = entries[0]
+		for _, t := range entries {
+			if t < horizon {
+				horizon = t
+			}
+		}
+	}
+	if horizon > 0 {
+		cfg.Observe(mpi.Observer{OnEngine: func(e *des.Engine) { e.SetHorizon(horizon) }})
+	}
+	net := cfg.Net
+	cr.err = mpi.Run(cfg, func(c *mpi.Comm) {
+		if entries != nil {
+			c.Proc().SleepUntil(entries[c.Rank()])
+		}
+		ll := startLL
+		ui := 0
+		for _, L := range sizes {
+			var last float64
+			for rep := 0; rep < opt.Reps; rep++ {
+				u := &cr.units[ui]
+				ui++
+				u.ll = ll
+				last = measureOnceRec(c, pat, L, m, ll, u.rec)
+				u.out = last
+				u.msgs = net.Messages()
+			}
+			ll = nextLooplength(ll, last, opt.MaxLooplength)
+		}
+	})
+	cr.total = net.Messages()
+	return cr
+}
+
+// runChain is runChainIn against a freshly built world.
+func runChain(factory WorldFactory, entries []des.Time, pat *Pattern, m Method, startLL int, sizes []int64, opt Options) *chainRun {
+	cfg, err := factory(entries)
+	if err != nil {
+		return &chainRun{err: fmt.Errorf("core: shard world factory: %w", err)}
+	}
+	return runChainIn(cfg, entries, pat, m, startLL, sizes, opt)
+}
+
+// outAt reconstructs the unit's closing allreduce value — the maximum
+// per-rank elapsed wall time in seconds — in the absolute time frame
+// obtained by shifting the recorded ticks by base. This reproduces
+// exactly the float arithmetic of measureOnce (Wtime() differences of
+// absolute times), which is why speculative worlds can run in a
+// translated frame without perturbing a single output bit.
+func outAt(rec *unitRecorder, base des.Time) float64 {
+	out := 0.0
+	for r := range rec.t0 {
+		el := (rec.tEnd[r] + base).Seconds() - (rec.t0[r] + base).Seconds()
+		if r == 0 || el > out {
+			out = el
+		}
+	}
+	return out
+}
+
+// relSkew writes v - min(v) into dst and returns min(v).
+func relSkew(dst, v []des.Time) des.Time {
+	mn := v[0]
+	for _, t := range v {
+		if t < mn {
+			mn = t
+		}
+	}
+	for i, t := range v {
+		dst[i] = t - mn
+	}
+	return mn
+}
+
+// RunSharded executes the b_eff benchmark with the conservative-
+// parallel executor and returns a Result byte-identical to
+// Run(factory(nil), opt) at every shard count. See the package comment
+// at the top of this file for the protocol.
+func RunSharded(factory WorldFactory, opt Options, so ShardOptions) (*Result, *ShardStats, error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if so.Shards <= 1 {
+		cfg, err := factory(nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := Run(cfg, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, &ShardStats{Shards: 1, Chains: 0, Messages: cfg.Net.Messages()}, nil
+	}
+
+	st := &ShardStats{Shards: so.Shards}
+	defer st.export(so.Obs)
+
+	// The first world pins down the partition size.
+	cfg0, err := factory(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := cfg0.Procs
+	if n == 0 {
+		n = cfg0.Net.NumProcs()
+	}
+
+	lmax := opt.Lmax()
+	sizes := MessageSizes(lmax)
+	ring := RingPatterns(n)
+	random := RandomPatterns(n, opt.Seed)
+	pats := append(append([]*Pattern{}, ring...), random...)
+
+	res := &Result{Procs: n, Lmax: lmax, Sizes: sizes, Options: opt}
+
+	nchains := len(pats) * NumMethods
+	st.Chains = nchains
+	abs := make([]des.Time, n) // the committed frontier: per-rank absolute time
+	if nchains > 0 {
+		// Chain 0 starts the run at time zero on all ranks — its
+		// speculation is exact by construction, and its last exit skew
+		// seeds the speculated entry skew of every later chain (the
+		// closing allreduce cants every unit into the same skew; if a
+		// chain disagrees, validation catches it and re-simulates).
+		chains := make([]*chainRun, nchains)
+		done := make([]chan struct{}, nchains)
+		for i := range done {
+			done[i] = make(chan struct{})
+		}
+		chains[0] = runChainIn(cfg0, nil, pats[0], Method(0), opt.MaxLooplength, sizes, opt)
+		close(done[0])
+		if err := chains[0].err; err != nil {
+			return nil, nil, err
+		}
+		sigma := make([]des.Time, n)
+		relSkew(sigma, chains[0].units[len(chains[0].units)-1].rec.exit)
+
+		pool := des.NewPool(so.Shards)
+		if !so.NoSpec {
+			for ci := 1; ci < nchains; ci++ {
+				ci := ci
+				pool.Go(func() error {
+					cr := runChain(factory, sigma, pats[ci/NumMethods], Method(ci%NumMethods), opt.MaxLooplength, sizes, opt)
+					chains[ci] = cr
+					close(done[ci])
+					return cr.err
+				})
+			}
+		}
+		defer pool.Wait()
+
+		// Commit pass: walk chains in schedule order, validate each
+		// speculation against the frontier, and re-simulate exactly on
+		// a miss.
+		scratch := make([]des.Time, n)
+		for ci := 0; ci < nchains; ci++ {
+			pi := ci / NumMethods
+			m := Method(ci % NumMethods)
+			pat := pats[pi]
+			if m == 0 {
+				pr := PatternResult{
+					Name:      pat.Name,
+					Random:    pat.Random,
+					RingSizes: pat.RingSizes,
+					TotalMsgs: pat.TotalMsgs,
+					Best:      make([]float64, len(sizes)),
+				}
+				for mm := 0; mm < NumMethods; mm++ {
+					pr.ByMethod[mm] = make([]float64, len(sizes))
+				}
+				if pat.Random {
+					res.Random = append(res.Random, pr)
+				} else {
+					res.Ring = append(res.Ring, pr)
+				}
+			}
+			var pr *PatternResult
+			if pat.Random {
+				pr = &res.Random[len(res.Random)-1]
+			} else {
+				pr = &res.Ring[len(res.Ring)-1]
+			}
+
+			var cr *chainRun
+			if ci == 0 || !so.NoSpec {
+				wait := time.Now()
+				<-done[ci]
+				st.FrontierStall += time.Since(wait)
+				cr = chains[ci]
+				if cr.err != nil {
+					return nil, nil, cr.err
+				}
+			}
+
+			// Validate the chain's speculated entry-skew vector against
+			// the committed frontier (exact integer comparison). Under
+			// NoSpec there is no speculative world to validate and every
+			// chain after the first goes straight to re-simulation.
+			base := relSkew(scratch, abs)
+			hit := cr != nil
+			for r := 0; hit && r < n; r++ {
+				want := des.Time(0)
+				if cr.entries != nil {
+					want = cr.entries[r]
+				}
+				if scratch[r] != want {
+					hit = false
+				}
+			}
+			var walk []chainUnit
+			var totalMsgs int64
+			prefixMsgs := int64(0)
+			if hit {
+				walk, totalMsgs = cr.units, cr.total
+			} else {
+				if cr != nil {
+					st.SpecMissUnits += len(cr.units)
+				}
+				rs := runChain(factory, append([]des.Time(nil), abs...), pat, m, opt.MaxLooplength, sizes, opt)
+				if rs.err != nil {
+					return nil, nil, rs.err
+				}
+				st.ResimUnits += len(rs.units)
+				walk, base, totalMsgs = rs.units, 0, rs.total
+			}
+			spec := hit
+
+			ll := opt.MaxLooplength
+			ui := 0
+			for si, L := range sizes {
+				if spec && walk[ui].ll != ll {
+					// The speculated looplength schedule diverged (a
+					// float rounding flip at a size boundary):
+					// re-simulate the rest of the chain from the exact
+					// frontier. Message attribution across the splice
+					// is approximate (the next unit's opening barrier
+					// may already have booked zero-size messages in
+					// the speculative world); outputs are unaffected.
+					missed := len(walk) - ui
+					st.SpecMissUnits += missed
+					st.ResimUnits += missed
+					if ui > 0 {
+						prefixMsgs += walk[ui-1].msgs
+					}
+					rs := runChain(factory, append([]des.Time(nil), abs...), pat, m, ll, sizes[si:], opt)
+					if rs.err != nil {
+						return nil, nil, rs.err
+					}
+					walk, base, ui, spec = rs.units, 0, 0, false
+					totalMsgs = rs.total
+				}
+				best := 0.0
+				var last float64
+				for rep := 0; rep < opt.Reps; rep++ {
+					u := &walk[ui]
+					ui++
+					out := u.out
+					if spec {
+						out = outAt(u.rec, base)
+						st.SpecHitUnits++
+					}
+					last = out
+					if bw := bandwidth(L, pat.TotalMsgs, ll, out); bw > best {
+						best = bw
+					}
+					for r := 0; r < n; r++ {
+						abs[r] = u.rec.exit[r] + base
+					}
+				}
+				pr.ByMethod[m][si] = best
+				if best > pr.Best[si] {
+					pr.Best[si] = best
+				}
+				ll = nextLooplength(ll, last, opt.MaxLooplength)
+			}
+			st.Messages += prefixMsgs + totalMsgs
+			if m == Method(NumMethods-1) {
+				pr.SumAvg = stats.Mean(pr.Best...)
+			}
+		}
+		if err := pool.Wait(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	reduce(res)
+
+	// The tail — ping-pong, the analysis section, and the closing
+	// barrier that stamps Elapsed — holds communication between its
+	// timed sections (cartesian communicator construction), so it is
+	// not unit-sliceable; it runs sequentially from the exact frontier.
+	// At ~1-5% of the schedule it does not bound the speedup.
+	tailCfg, err := factory(abs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var horizon des.Time
+	if n > 0 {
+		horizon = abs[0]
+		for _, t := range abs {
+			if t < horizon {
+				horizon = t
+			}
+		}
+	}
+	if horizon > 0 {
+		tailCfg.Observe(mpi.Observer{OnEngine: func(e *des.Engine) { e.SetHorizon(horizon) }})
+	}
+	err = mpi.Run(tailCfg, func(c *mpi.Comm) {
+		c.Proc().SleepUntil(abs[c.Rank()])
+		pp := measurePingPong(c, lmax)
+		var an []AnalysisEntry
+		if !opt.SkipAnalysis {
+			an = runAnalysis(c, lmax)
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			res.PingPong = pp
+			res.Analysis = an
+			res.Elapsed = c.Wtime()
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	st.Messages += tailCfg.Net.Messages()
+	return res, st, nil
+}
+
+// export publishes the run's counters into an obs registry.
+func (st *ShardStats) export(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("beff_shard_workers").Set(int64(st.Shards))
+	reg.Counter("beff_shard_chains_total").Add(int64(st.Chains))
+	reg.Counter("beff_shard_spec_hit_units_total").Add(int64(st.SpecHitUnits))
+	reg.Counter("beff_shard_spec_miss_units_total").Add(int64(st.SpecMissUnits))
+	reg.Counter("beff_shard_resim_units_total").Add(int64(st.ResimUnits))
+	reg.FloatGauge("beff_shard_frontier_stall_seconds").Set(st.FrontierStall.Seconds())
+}

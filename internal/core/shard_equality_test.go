@@ -1,0 +1,189 @@
+package core_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/mpi"
+	"github.com/hpcbench/beff/internal/perturb"
+)
+
+// The shard-equality suite: the acceptance property of the sharded
+// conservative-parallel executor is byte-identical output at every
+// shard count, on every fabric topology, perturbed or not. Equality is
+// asserted on the JSON encoding of the full Result — the same bytes
+// the golden corpus, the cache and the HTTP API serve — so "identical"
+// means identical everywhere downstream, float formatting included.
+
+// equalityMachines covers the four fabric families: 3-D torus,
+// SMP cluster, fat-tree and crossbar.
+var equalityMachines = []struct {
+	key   string
+	procs int
+}{
+	{"t3e", 16},    // torus3d
+	{"sp", 8},      // smp-cluster
+	{"myrinet", 8}, // fat-tree
+	{"cluster", 8}, // crossbar
+}
+
+// equalityOptions keeps a single run cheap enough for the full
+// topology × shard-count × perturbation matrix under -race on one
+// core. The analysis tail stays on for the torus so the sharded tail
+// world's analysis path is covered at least once.
+func equalityOptions(key string) core.Options {
+	return core.Options{
+		LmaxOverride:  1 << 16,
+		MaxLooplength: 2,
+		Reps:          1,
+		Seed:          1,
+		SkipAnalysis:  key != "t3e",
+	}
+}
+
+func marshal(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+var shardCounts = []int{1, 2, 4, 8}
+
+func TestShardEqualityAcrossTopologies(t *testing.T) {
+	for _, m := range equalityMachines {
+		m := m
+		t.Run(m.key, func(t *testing.T) {
+			p, err := machine.Lookup(m.key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := equalityOptions(m.key)
+			w, err := p.BuildWorld(m.procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := core.Run(w, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := marshal(t, seq)
+			factory := func([]des.Time) (mpi.WorldConfig, error) { return p.BuildWorld(m.procs) }
+			for _, shards := range shardCounts {
+				res, st, err := core.RunSharded(factory, opt, core.ShardOptions{Shards: shards})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if got := marshal(t, res); got != want {
+					t.Errorf("shards=%d: result differs from sequential at byte %d",
+						shards, diffAt(got, want))
+				}
+				if shards > 1 && st.SpecHitUnits == 0 {
+					t.Errorf("shards=%d: no units committed speculatively (stats %+v)", shards, *st)
+				}
+			}
+		})
+	}
+}
+
+func TestShardEqualityPerturbed(t *testing.T) {
+	prof, err := perturb.Load("stormy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 3
+	for _, m := range equalityMachines {
+		m := m
+		t.Run(m.key, func(t *testing.T) {
+			p, err := machine.Lookup(m.key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := equalityOptions(m.key)
+			opt.SkipAnalysis = true // the perturbed matrix stays cheap
+			build := func() (mpi.WorldConfig, error) {
+				w, err := p.BuildWorld(m.procs)
+				if err != nil {
+					return w, err
+				}
+				prof.ApplyNet(w.Net, seed)
+				return w, nil
+			}
+			w, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := core.Run(w, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := marshal(t, seq)
+			factory := func([]des.Time) (mpi.WorldConfig, error) { return build() }
+			for _, shards := range shardCounts {
+				// Perturbation samples absolute virtual time, so the
+				// callers run sharded-with-NoSpec: chains re-simulate at
+				// the exact frontier instead of speculating.
+				res, st, err := core.RunSharded(factory, opt, core.ShardOptions{Shards: shards, NoSpec: true})
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if got := marshal(t, res); got != want {
+					t.Errorf("shards=%d: perturbed result differs from sequential at byte %d",
+						shards, diffAt(got, want))
+				}
+				if shards > 1 && st.ResimUnits == 0 {
+					t.Errorf("shards=%d: NoSpec run re-simulated nothing (stats %+v)", shards, *st)
+				}
+			}
+		})
+	}
+}
+
+// TestShardMessageParity pins the executor's message accounting: the
+// committed worlds of a fully-speculative run book exactly the same
+// number of simulated messages as the sequential engine — the schedule
+// is partitioned, not approximated.
+func TestShardMessageParity(t *testing.T) {
+	p, err := machine.Lookup("t3e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := equalityOptions("t3e")
+	w, err := p.BuildWorld(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Run(w, opt); err != nil {
+		t.Fatal(err)
+	}
+	seqMsgs := w.Net.Messages()
+	factory := func([]des.Time) (mpi.WorldConfig, error) { return p.BuildWorld(16) }
+	for _, shards := range shardCounts {
+		_, st, err := core.RunSharded(factory, opt, core.ShardOptions{Shards: shards})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if st.Messages != seqMsgs {
+			t.Errorf("shards=%d: %d messages across committed worlds, sequential booked %d",
+				shards, st.Messages, seqMsgs)
+		}
+	}
+}
+
+func diffAt(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -1,0 +1,31 @@
+package des
+
+// Horizon support for sharded (conservative-parallel) execution.
+//
+// A sharded run cuts the global simulation into slices along virtual
+// time and replays each slice in its own sub-engine, starting every
+// process at its recorded entry time. The cut is only sound if the
+// slice never reaches back across it: the earliest entry time is the
+// engine's horizon, and any event scheduled strictly between the start
+// epoch (time zero, where the replay preamble parks the processes) and
+// the horizon proves the slice was not causally isolated. SetHorizon
+// arms that assertion; a violation aborts the run like any other
+// process failure, so the executor can fall back instead of silently
+// committing a wrong slice.
+
+// SetHorizon arms the engine's causality floor: once set, dispatching
+// or fast-path-advancing to any time t with 0 < t < h aborts the
+// simulation. Events at exactly time zero are exempt — they are the
+// replay preamble that parks each process until its entry time. A
+// horizon of zero (the default) disables the check. Must be called
+// before Run.
+func (e *Engine) SetHorizon(h Time) { e.horizon = h }
+
+// Horizon reports the armed causality floor (zero when disabled).
+func (e *Engine) Horizon() Time { return e.horizon }
+
+// checkHorizon reports whether advancing to t violates the armed
+// horizon.
+func (e *Engine) checkHorizon(t Time) bool {
+	return e.horizon > 0 && t > 0 && t < e.horizon
+}

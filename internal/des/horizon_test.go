@@ -1,0 +1,110 @@
+package des
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestHorizonAllowsPreambleAndBeyond(t *testing.T) {
+	// A replayed slice parks each proc at time zero, sleeps to its entry
+	// time (>= horizon), and proceeds: all of that must be legal.
+	e := NewEngine()
+	e.SetHorizon(Time(10 * Millisecond))
+	entries := []Time{Time(10 * Millisecond), Time(12 * Millisecond)}
+	err := e.Run(2, func(p *Proc) {
+		p.SleepUntil(entries[p.ID()])
+		p.Sleep(5 * Millisecond) // events past the horizon are fine
+	})
+	if err != nil {
+		t.Fatalf("replay within the horizon rules failed: %v", err)
+	}
+}
+
+func TestHorizonViolationAbortsRun(t *testing.T) {
+	// An event strictly between zero and the horizon proves the slice
+	// reached back across its cut; the run must fail, not complete.
+	e := NewEngine()
+	e.SetHorizon(Time(10 * Millisecond))
+	err := e.Run(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.SleepUntil(Time(3 * Millisecond)) // below the horizon
+		} else {
+			p.SleepUntil(Time(20 * Millisecond))
+		}
+	})
+	if err == nil {
+		t.Fatal("run with a sub-horizon event completed without error")
+	}
+	if !strings.Contains(err.Error(), "causality violation") {
+		t.Fatalf("error does not name the causality violation: %v", err)
+	}
+}
+
+func TestHorizonViolationViaScheduledWake(t *testing.T) {
+	// The heap-dispatch path (a sleeping proc popped below the horizon)
+	// must be caught too, not only the same-proc fast path.
+	e := NewEngine()
+	e.SetHorizon(Time(10 * Millisecond))
+	err := e.Run(2, func(p *Proc) {
+		if p.ID() == 0 {
+			p.Sleep(2 * Millisecond)
+		} else {
+			p.SleepUntil(Time(15 * Millisecond))
+		}
+	})
+	if err == nil || !strings.Contains(err.Error(), "causality violation") {
+		t.Fatalf("heap dispatch below the horizon not caught: %v", err)
+	}
+}
+
+func TestHorizonZeroDisablesCheck(t *testing.T) {
+	e := NewEngine()
+	err := e.Run(1, func(p *Proc) { p.Sleep(Millisecond) })
+	if err != nil {
+		t.Fatalf("unhorizoned engine rejected a normal run: %v", err)
+	}
+}
+
+func TestPoolRunsAllAndCollectsFirstError(t *testing.T) {
+	p := NewPool(3)
+	ran := make([]bool, 8)
+	sentinel := errors.New("boom")
+	for i := range ran {
+		i := i
+		p.Go(func() error {
+			ran[i] = true
+			if i == 5 {
+				return sentinel
+			}
+			return nil
+		})
+	}
+	err := p.Wait()
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("Wait = %v, want the submitted error", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Errorf("task %d never ran", i)
+		}
+	}
+}
+
+func TestPoolRecoversPanics(t *testing.T) {
+	p := NewPool(2)
+	p.Go(func() error { panic("kaboom") })
+	err := p.Wait()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("Wait = %v, want the recovered panic", err)
+	}
+}
+
+func TestPoolClampsWorkers(t *testing.T) {
+	p := NewPool(0) // must not deadlock: clamped to one worker
+	done := false
+	p.Go(func() error { done = true; return nil })
+	if err := p.Wait(); err != nil || !done {
+		t.Fatalf("clamped pool: err=%v done=%v", err, done)
+	}
+}

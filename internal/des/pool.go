@@ -1,0 +1,71 @@
+package des
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool bounds the concurrency of independent sub-engine runs. The
+// sharded executor in internal/core hands each speculative slice its
+// own Engine (engines share nothing), and the pool keeps at most
+// `workers` of them simulating at once. Jobs recover panics into
+// errors, so a crashing sub-engine fails its job instead of the
+// process.
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewPool returns a pool running at most workers jobs concurrently.
+// workers < 1 is clamped to 1.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Go enqueues a job. It returns immediately; the job starts when a
+// worker slot frees up. The first error (or recovered panic) is kept
+// and reported by Wait; later jobs still run.
+func (p *Pool) Go(fn func() error) {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		defer func() {
+			if r := recover(); r != nil {
+				p.fail(fmt.Errorf("des: pool job panicked: %v", r))
+			}
+		}()
+		if err := fn(); err != nil {
+			p.fail(err)
+		}
+	}()
+}
+
+func (p *Pool) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Err reports the first failure so far without waiting.
+func (p *Pool) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Wait blocks until every enqueued job has finished and returns the
+// first failure, if any.
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	return p.Err()
+}

@@ -1,0 +1,102 @@
+package machine
+
+import (
+	"testing"
+
+	"github.com/hpcbench/beff/internal/simnet"
+)
+
+// FuzzPartitionLookahead drives the shard partitioner and lookahead
+// extraction with fabrics built from arbitrary machine configs —
+// the same corpus FuzzParseConfig mines, so every fabric shape the
+// parser accepts (crossbar, SMP cluster, torus, fat-tree) feeds the
+// partition invariants: every rank lands in exactly one shard, groups
+// cover the fabric contiguously, and the declared lookahead never
+// exceeds the route latency of any cross-shard pair.
+func FuzzPartitionLookahead(f *testing.F) {
+	f.Add([]byte(`{"key":"min","name":"minimal","maxProcs":4,"memoryPerProcMB":64,
+	  "fabric":{"aggregateGBps":1,"latencyUs":10},
+	  "nic":{"txGBps":1,"rxGBps":1,"portGBps":1,"memcpyGBps":1}}`))
+	f.Add([]byte(`{"key":"tor","name":"torus","maxProcs":8,"memoryPerProcMB":128,
+	  "fabric":{"kind":"torus3d","linkGBps":0.6,"baseLatencyUs":1,"hopLatencyNs":50},
+	  "nic":{"txGBps":1,"rxGBps":1,"portGBps":0.5}}`))
+	f.Add([]byte(`{"key":"ft","name":"fat tree","maxProcs":16,"memoryPerProcMB":256,
+	  "fabric":{"kind":"fat-tree","leafSize":4,"uplinks":2,"linkGBps":1,
+	            "intraLatencyUs":1,"interLatencyUs":5},
+	  "nic":{"txGBps":1,"rxGBps":1,"portGBps":1}}`))
+	f.Add([]byte(`{"key":"smp","name":"smp","maxProcs":8,"smpNodeSize":4,"memoryPerProcMB":64,
+	  "fabric":{"kind":"smp-cluster","busGBps":8,"adapterGBps":1,
+	            "intraLatencyUs":2,"interLatencyUs":10},
+	  "nic":{"txGBps":1,"rxGBps":1,"portGBps":1}}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseConfig(data)
+		if err != nil {
+			return
+		}
+		procs := p.MaxProcs
+		if procs > 8 {
+			procs = 8
+		}
+		w, err := p.BuildWorld(procs)
+		if err != nil {
+			t.Fatalf("accepted config cannot build a %d-proc world: %v", procs, err)
+		}
+		fab := w.Net.Config().Fabric
+		n := fab.NumProcs()
+		for shards := 1; shards <= 4; shards++ {
+			parts := simnet.Partition(fab, shards)
+			want := shards
+			if want > n {
+				want = n
+			}
+			if len(parts) != want {
+				t.Fatalf("shards=%d over %d procs: %d groups, want %d", shards, n, len(parts), want)
+			}
+			next := 0
+			for _, part := range parts {
+				if len(part) == 0 {
+					t.Fatalf("shards=%d: empty group in %v", shards, parts)
+				}
+				for _, q := range part {
+					if q != next {
+						t.Fatalf("shards=%d: groups %v not a contiguous in-order cover of 0..%d", shards, parts, n-1)
+					}
+					next++
+				}
+			}
+			if next != n {
+				t.Fatalf("shards=%d: groups cover %d of %d procs", shards, next, n)
+			}
+			shard := simnet.ShardOf(n, parts) // panics on overlap
+			la := simnet.Lookahead(fab, parts)
+			if len(parts) < 2 {
+				if la >= 0 {
+					t.Fatalf("single-group partition reported bounded lookahead %v", la)
+				}
+				continue
+			}
+			if la < 0 {
+				t.Fatalf("multi-group partition reported unbounded lookahead")
+			}
+			achieved := false
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					if src == dst || shard[src] == shard[dst] {
+						continue
+					}
+					_, lat := fab.Path(src, dst)
+					if la > lat {
+						t.Fatalf("shards=%d: lookahead %v exceeds %d→%d route latency %v", shards, la, src, dst, lat)
+					}
+					if la == lat {
+						achieved = true
+					}
+				}
+			}
+			if !achieved {
+				t.Fatalf("shards=%d: lookahead %v matches no cross-shard route latency", shards, la)
+			}
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"encoding/json"
+	"testing"
+
+	"github.com/hpcbench/beff/internal/core"
+)
+
+func shardBeffOptions() core.Options {
+	return core.Options{LmaxOverride: 1 << 16, MaxLooplength: 2, Reps: 1, Seed: 1, SkipAnalysis: true}
+}
+
+// TestShardsStayOutOfFingerprint is the cache-compatibility property:
+// the shard count is an execution knob, so a sharded cell must hash to
+// the same content address as its sequential twin — they share cache
+// entries and dedupe against each other.
+func TestShardsStayOutOfFingerprint(t *testing.T) {
+	opt := shardBeffOptions()
+	base, err := FingerprintKey(BeffCellShards("t3e", 8, opt, 1).Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		key, err := FingerprintKey(BeffCellShards("t3e", 8, opt, shards).Fingerprint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if key != base {
+			t.Errorf("shards=%d fingerprints differently from sequential: %s vs %s", shards, key, base)
+		}
+	}
+	prof := stragglerProfile()
+	rbase, err := FingerprintKey(RobustBeffCellShards("t3e", 8, opt, prof, 1, 0, 1, nil).Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rkey, err := FingerprintKey(RobustBeffCellShards("t3e", 8, opt, prof, 1, 0, 4, nil).Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rkey != rbase {
+		t.Errorf("perturbed cell fingerprints differently at shards=4: %s vs %s", rkey, rbase)
+	}
+}
+
+// TestShardSweepEquality crosses the two parallelism axes — sweep
+// workers (-j) and per-cell shard workers (-shards) — and requires the
+// served bytes to be identical at every combination, perturbed cells
+// included.
+func TestShardSweepEquality(t *testing.T) {
+	opt := shardBeffOptions()
+	prof := stragglerProfile()
+	mkCells := func(shards int) []Cell[*core.Result] {
+		return []Cell[*core.Result]{
+			BeffCellShards("t3e", 8, opt, shards),
+			RobustBeffCellShards("t3e", 8, opt, prof, 1, 0, shards, nil),
+		}
+	}
+	var want []string
+	for _, workers := range []int{1, 8} {
+		for _, shards := range []int{1, 4} {
+			results := Sweep(mkCells(shards), Options{Workers: workers})
+			if err := Err(results); err != nil {
+				t.Fatalf("j=%d shards=%d: %v", workers, shards, err)
+			}
+			got := make([]string, len(results))
+			for i, r := range results {
+				data, err := json.Marshal(r.Value)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got[i] = string(data)
+			}
+			if want == nil {
+				want = got
+				continue
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Errorf("j=%d shards=%d: cell %d bytes differ from the j=1 shards=1 run", workers, shards, i)
+				}
+			}
+		}
+	}
+}

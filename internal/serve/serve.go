@@ -262,7 +262,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid_request", "%v", err)
 		return
 	}
-	tasks, err := spec.tasks(s.cache)
+	tasks, err := spec.tasks(s.cache, s.reg)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "invalid_request", "%v", err)
 		return

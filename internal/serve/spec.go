@@ -8,6 +8,7 @@ import (
 	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/des"
 	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/obs"
 	"github.com/hpcbench/beff/internal/perturb"
 	"github.com/hpcbench/beff/internal/runner"
 )
@@ -53,6 +54,14 @@ type SweepRequest struct {
 	InnerReps     int   `json:"inner_reps,omitempty"`     // in-run repetitions, default 1
 	SkipAnalysis  bool  `json:"skip_analysis,omitempty"`
 
+	// Shards is the per-cell worker count of the sharded executor
+	// (b_eff only; default 1 = sequential engine). An execution knob,
+	// not a simulation input: results and cache fingerprints are
+	// identical at every value, so it never splits the dedupe or the
+	// cache. Size it against the daemon's -j worker pool — the two
+	// multiply (see OPERATIONS.md).
+	Shards int `json:"shards,omitempty"`
+
 	// b_eff_io knobs (defaults match cmd/robustness -io).
 	TSeconds float64 `json:"t_seconds,omitempty"` // scheduled virtual time, default 60
 
@@ -75,6 +84,9 @@ func (r *SweepRequest) normalize() {
 	}
 	if r.InnerReps == 0 {
 		r.InnerReps = 1
+	}
+	if r.Shards == 0 {
+		r.Shards = 1
 	}
 	if r.TSeconds == 0 {
 		r.TSeconds = 60
@@ -115,6 +127,9 @@ func (r *SweepRequest) validate() error {
 	if r.InnerReps < 1 {
 		return fmt.Errorf("inner_reps must be >= 1, got %d", r.InnerReps)
 	}
+	if r.Shards < 1 {
+		return fmt.Errorf("shards must be >= 1, got %d", r.Shards)
+	}
 	if r.TSeconds <= 0 {
 		return fmt.Errorf("t_seconds must be positive, got %v", r.TSeconds)
 	}
@@ -130,7 +145,7 @@ func (r *SweepRequest) validate() error {
 // (machine, procs, rep) cell, in deterministic axis order. The cache
 // is threaded into every task so HTTP-served cells read and repair the
 // same .beffcache/ entries as CLI sweeps.
-func (r *SweepRequest) tasks(cache *runner.Cache) ([]runner.Task, error) {
+func (r *SweepRequest) tasks(cache *runner.Cache, reg *obs.Registry) ([]runner.Task, error) {
 	var prof *perturb.Profile
 	if r.Perturb != "" {
 		p, err := perturb.Preset(r.Perturb)
@@ -152,7 +167,7 @@ func (r *SweepRequest) tasks(cache *runner.Cache) ([]runner.Task, error) {
 						Reps:          r.InnerReps,
 						SkipAnalysis:  r.SkipAnalysis,
 					}
-					cell := runner.RobustBeffCell(key, procs, opt, prof, r.Seed, rep)
+					cell := runner.RobustBeffCellShards(key, procs, opt, prof, r.Seed, rep, r.Shards, reg)
 					tasks = append(tasks, runner.JSONTask(cell, cache))
 				case "beffio":
 					opt := beffio.Options{T: des.DurationOf(r.TSeconds)}

@@ -1,0 +1,132 @@
+package simnet
+
+import (
+	"fmt"
+
+	"github.com/hpcbench/beff/internal/des"
+)
+
+// Topology-aware partitioning for sharded (conservative-parallel)
+// execution. A partition groups the fabric's processors into regions;
+// the lookahead of a partition is the smallest route latency any
+// message needs to cross between regions. Together they bound how far
+// one region's state can lag another without risking a causality
+// violation — internal/des enforces the per-engine horizon, and
+// internal/check's WatchHorizon re-verifies both the horizon and the
+// lookahead claim against every observed transfer.
+
+// Partition splits the fabric's processors 0..n-1 into at most shards
+// contiguous, non-empty, balanced groups. Cut points snap to the
+// highest-latency adjacent-pair boundary within a window around each
+// balanced position, so on structured fabrics (e.g. a torus linearised
+// plane-major) the cuts land on the expensive topology boundaries
+// rather than mid-plane. The result is deterministic: every processor
+// appears in exactly one group, groups cover 0..n-1 in order, and
+// len(result) == min(shards, n) (shards < 1 is clamped to 1).
+func Partition(f Fabric, shards int) [][]int {
+	n := f.NumProcs()
+	if n <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	// lat[i] is the route latency between adjacent processors i and
+	// i+1: the cost of cutting between them.
+	lat := make([]des.Duration, n-1)
+	for i := 0; i < n-1; i++ {
+		_, l := f.Path(i, i+1)
+		lat[i] = l
+	}
+	cuts := make([]int, 0, shards-1) // cut after index cuts[k]
+	window := n / (4 * shards)
+	prev := -1
+	for k := 1; k < shards; k++ {
+		ideal := k*n/shards - 1 // balanced cut position
+		lo, hi := ideal-window, ideal+window
+		if lo <= prev {
+			lo = prev + 1
+		}
+		if hi > n-2 {
+			hi = n - 2
+		}
+		best := ideal
+		if best < lo {
+			best = lo
+		}
+		for i := lo; i <= hi; i++ {
+			if lat[i] > lat[best] {
+				best = i
+			}
+		}
+		cuts = append(cuts, best)
+		prev = best
+	}
+	parts := make([][]int, 0, shards)
+	start := 0
+	for _, c := range cuts {
+		part := make([]int, 0, c-start+1)
+		for i := start; i <= c; i++ {
+			part = append(part, i)
+		}
+		parts = append(parts, part)
+		start = c + 1
+	}
+	last := make([]int, 0, n-start)
+	for i := start; i < n; i++ {
+		last = append(last, i)
+	}
+	return append(parts, last)
+}
+
+// Lookahead reports the minimum route latency between any pair of
+// processors in different groups of the partition — the conservative
+// bound on how quickly an event in one shard can influence another.
+// With fewer than two groups there is no cross-shard path and the
+// lookahead is unbounded; this is reported as a negative duration so
+// callers cannot mistake it for a real latency.
+func Lookahead(f Fabric, parts [][]int) des.Duration {
+	shard := shardIndex(f.NumProcs(), parts)
+	min := des.Duration(-1)
+	for src := 0; src < f.NumProcs(); src++ {
+		for dst := 0; dst < f.NumProcs(); dst++ {
+			if src == dst || shard[src] == shard[dst] || shard[src] < 0 || shard[dst] < 0 {
+				continue
+			}
+			_, l := f.Path(src, dst)
+			if min < 0 || l < min {
+				min = l
+			}
+		}
+	}
+	return min
+}
+
+// shardIndex inverts a partition into a proc→group map (-1 for procs
+// in no group). It panics if a processor appears in two groups — a
+// partition bug that would silently corrupt horizon accounting.
+func shardIndex(n int, parts [][]int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = -1
+	}
+	for s, part := range parts {
+		for _, p := range part {
+			if p < 0 || p >= n {
+				panic(fmt.Sprintf("simnet: partition references processor %d outside 0..%d", p, n-1))
+			}
+			if idx[p] != -1 {
+				panic(fmt.Sprintf("simnet: processor %d appears in partition groups %d and %d", p, idx[p], s))
+			}
+			idx[p] = s
+		}
+	}
+	return idx
+}
+
+// ShardOf returns the proc→group map of a partition over n processors
+// (-1 for unassigned procs). See shardIndex for the validity rules.
+func ShardOf(n int, parts [][]int) []int { return shardIndex(n, parts) }

@@ -1,0 +1,150 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpcbench/beff/internal/des"
+)
+
+// latFabric is a minimal synthetic fabric: route latency is supplied
+// by a function, paths carry no resources (the partition code only
+// reads latencies).
+type latFabric struct {
+	n   int
+	lat func(src, dst int) des.Duration
+}
+
+func (f latFabric) NumProcs() int { return f.n }
+func (f latFabric) Path(src, dst int) ([]Segment, des.Duration) {
+	return nil, f.lat(src, dst)
+}
+
+// checkPartitionInvariants asserts the Partition contract: groups are
+// non-empty, contiguous, in order, cover 0..n-1 exactly once, and
+// there are min(shards, n) of them (for shards >= 1).
+func checkPartitionInvariants(t *testing.T, parts [][]int, n, shards int) {
+	t.Helper()
+	want := shards
+	if want > n {
+		want = n
+	}
+	if want < 1 {
+		want = 1
+	}
+	if len(parts) != want {
+		t.Fatalf("n=%d shards=%d: got %d groups, want %d", n, shards, len(parts), want)
+	}
+	next := 0
+	for s, part := range parts {
+		if len(part) == 0 {
+			t.Fatalf("n=%d shards=%d: group %d is empty", n, shards, s)
+		}
+		for _, p := range part {
+			if p != next {
+				t.Fatalf("n=%d shards=%d: group %d holds %d, want %d (contiguous in-order cover)", n, shards, s, p, next)
+			}
+			next++
+		}
+	}
+	if next != n {
+		t.Fatalf("n=%d shards=%d: groups cover %d procs, want %d", n, shards, next, n)
+	}
+	// ShardOf must invert it with every proc assigned exactly once.
+	for p, s := range ShardOf(n, parts) {
+		if s < 0 {
+			t.Fatalf("n=%d shards=%d: proc %d unassigned", n, shards, p)
+		}
+	}
+}
+
+// TestPartitionProperty drives Partition over random fabrics and shard
+// counts and asserts the structural invariants plus lookahead
+// soundness: the reported lookahead never exceeds the route latency of
+// any cross-group pair, and is achieved by one of them.
+func TestPartitionProperty(t *testing.T) {
+	prop := func(seed int64, nRaw, shardsRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		shards := int(shardsRaw % 12) // 0 exercises the clamp
+		rng := rand.New(rand.NewSource(seed))
+		lat := make([][]des.Duration, n)
+		for i := range lat {
+			lat[i] = make([]des.Duration, n)
+			for j := range lat[i] {
+				lat[i][j] = des.Duration(rng.Int63n(int64(des.Millisecond)))
+			}
+		}
+		f := latFabric{n: n, lat: func(s, d int) des.Duration { return lat[s][d] }}
+		parts := Partition(f, shards)
+		checkPartitionInvariants(t, parts, n, shards)
+
+		la := Lookahead(f, parts)
+		if len(parts) < 2 {
+			return la < 0 // unbounded marker, never a fake latency
+		}
+		shard := ShardOf(n, parts)
+		achieved := false
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst || shard[src] == shard[dst] {
+					continue
+				}
+				if la > lat[src][dst] {
+					t.Errorf("lookahead %v exceeds cross-pair %d→%d latency %v", la, src, dst, lat[src][dst])
+					return false
+				}
+				if la == lat[src][dst] {
+					achieved = true
+				}
+			}
+		}
+		if !achieved {
+			t.Errorf("lookahead %v matches no cross-pair latency", la)
+		}
+		return achieved
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionSnapsToExpensiveBoundary(t *testing.T) {
+	// 16 procs in two "planes" of 8: crossing between proc 7 and 8 is
+	// 100x more expensive than any intra-plane hop. The balanced cut for
+	// two shards is already at 7; for windowed positions nearby the cut
+	// must stay snapped to the plane boundary.
+	f := latFabric{n: 16, lat: func(s, d int) des.Duration {
+		if (s < 8) != (d < 8) {
+			return 100 * des.Microsecond
+		}
+		return des.Microsecond
+	}}
+	parts := Partition(f, 2)
+	checkPartitionInvariants(t, parts, 16, 2)
+	if len(parts[0]) != 8 {
+		t.Fatalf("cut at %d, want the plane boundary at 8", len(parts[0]))
+	}
+	if la := Lookahead(f, parts); la != 100*des.Microsecond {
+		t.Fatalf("lookahead %v, want the 100µs plane-crossing latency", la)
+	}
+}
+
+func TestPartitionDegenerateCounts(t *testing.T) {
+	f := latFabric{n: 5, lat: func(s, d int) des.Duration { return des.Microsecond }}
+	for _, shards := range []int{-3, 0, 1, 5, 9} {
+		checkPartitionInvariants(t, Partition(f, shards), 5, shards)
+	}
+	if got := Partition(latFabric{n: 0}, 4); got != nil {
+		t.Fatalf("empty fabric partitioned into %v", got)
+	}
+}
+
+func TestShardOfRejectsOverlap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping partition did not panic")
+		}
+	}()
+	ShardOf(4, [][]int{{0, 1}, {1, 2, 3}})
+}
