@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/hpcbench/beff/internal/beffio"
@@ -45,9 +46,11 @@ type CellResult struct {
 	HeadlineMB float64 `json:"headline_mb_s"` // the cell's benchmark value, for result-drift detection
 }
 
-// Report is the schema of BENCH_core.json.
+// Report is the schema of BENCH_core.json, and of one entry in a
+// BENCH_*.json history (see History).
 type Report struct {
 	Generated string                `json:"generated"`
+	GitSHA    string                `json:"git_sha,omitempty"` // commit the numbers were measured at (-sha)
 	GoVersion string                `json:"go_version"`
 	NumCPU    int                   `json:"num_cpu,omitempty"` // host cores: context for the sharded-cell walls
 	Quick     bool                  `json:"quick,omitempty"`
@@ -63,6 +66,43 @@ type SpeedupRow struct {
 	Wall   float64 `json:"wall"`   // baseline wall / current wall
 	Allocs float64 `json:"allocs"` // baseline allocs/op / current allocs/op
 }
+
+// History is the multi-point trajectory schema: one Report per
+// measured commit, oldest first. bench -append folds a gated run into
+// it; -gate and -trend read either this shape or a bare single Report
+// (the legacy BENCH_core.json layout).
+type History struct {
+	Entries []Report `json:"entries"`
+}
+
+// loadHistory reads a bench JSON file in either format: a History
+// document (entries non-empty) or a legacy single Report, which loads
+// as a one-entry history.
+func loadHistory(path string) ([]Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var h History
+	if err := json.Unmarshal(data, &h); err == nil && len(h.Entries) > 0 {
+		return h.Entries, nil
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: neither a bench history nor a bench report: %w", path, err)
+	}
+	if len(r.Cells) == 0 {
+		return nil, fmt.Errorf("%s: no cells (empty history?)", path)
+	}
+	return []Report{r}, nil
+}
+
+// isShardCell recognises cells measured through the sharded parallel
+// executor. Their wall clock scales with host core count, so wall
+// comparisons against a baseline recorded on a different NumCPU are
+// meaningless and get skipped (allocs/op stays gated: the executor is
+// deterministic regardless of parallelism).
+func isShardCell(name string) bool { return strings.Contains(name, "_shards") }
 
 // cell is one fixed-seed workload with a way to count its messages.
 type cell struct {
@@ -216,7 +256,11 @@ func main() {
 		out      = flag.String("o", "BENCH_core.json", "output JSON path ('-' for stdout only)")
 		baseline = flag.String("baseline", "", "prior bench JSON to embed and compute speedups against")
 		shards   = flag.Int("shards", 4, "worker count of the sharded executor cells")
-		gate     = flag.String("gate", "", "regression gate: compare against this committed bench JSON and exit 1 on >10% wall slowdown or any allocs/op increase")
+		gate     = flag.String("gate", "", "regression gate: compare against this committed bench JSON (single report or history; latest entry counts) and exit 1 on >10% wall slowdown or any allocs/op increase")
+		trend    = flag.String("trend", "", "trajectory gate: compare against the best historical point per cell in this bench history JSON and exit 1 on regression")
+		appendTo = flag.String("append", "", "fold this run into the bench history JSON at this path (created if absent; skipped when a gate fails)")
+		sha      = flag.String("sha", "", "git commit to record in the report, for history entries")
+		date     = flag.String("date", "", "timestamp to record as generated (default: current UTC time; pin it for deterministic history entries)")
 	)
 	flag.Parse()
 	c.Validate()
@@ -231,10 +275,14 @@ func main() {
 	stopProf := c.StartProfiling()
 
 	rep := Report{
-		Generated: time.Now().UTC().Format(time.RFC3339),
+		Generated: *date,
+		GitSHA:    *sha,
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Quick:     *quick,
+	}
+	if rep.Generated == "" {
+		rep.Generated = time.Now().UTC().Format(time.RFC3339)
 	}
 	for _, c := range cells(*quick, *shards) {
 		r, err := measure(c, *iters)
@@ -269,11 +317,30 @@ func main() {
 	}
 
 	var gateFailures []string
-	if *gate != "" {
-		var committed Report
-		data, err := os.ReadFile(*gate)
-		fatal(err)
-		fatal(json.Unmarshal(data, &committed))
+	if *gate != "" || *trend != "" {
+		var gateEntries, trendEntries []Report
+		if *gate != "" {
+			entries, err := loadHistory(*gate)
+			fatal(err)
+			gateEntries = entries
+		}
+		if *trend != "" {
+			entries, err := loadHistory(*trend)
+			fatal(err)
+			trendEntries = entries
+		}
+		evaluate := func() (failures, suspects, notes []string) {
+			if len(gateEntries) > 0 {
+				latest := gateEntries[len(gateEntries)-1]
+				f, s, n := runGate(&rep, latest.Cells, latest.NumCPU)
+				failures, suspects, notes = append(failures, f...), append(suspects, s...), append(notes, n...)
+			}
+			if len(trendEntries) > 0 {
+				f, s, n := runTrend(&rep, trendEntries)
+				failures, suspects, notes = append(failures, f...), append(suspects, s...), append(notes, n...)
+			}
+			return failures, suspects, notes
+		}
 		// Allocation counts are deterministic, so that half of the gate
 		// is judged immediately. Wall clock is noisy even best-of-iters
 		// on shared runners, so a cell failing only on wall is
@@ -284,18 +351,21 @@ func main() {
 		for _, cl := range cells(*quick, *shards) {
 			byName[cl.name] = cl
 		}
+		var notes []string
 		for round := 0; ; round++ {
 			var suspects []string
-			gateFailures, suspects = runGate(&rep, committed.Cells)
+			gateFailures, suspects, notes = evaluate()
 			if len(suspects) == 0 || round == 2 {
 				break
 			}
+			seen := map[string]bool{}
 			fmt.Printf("gate: re-measuring %d wall-suspect cell(s), round %d/2\n", len(suspects), round+1)
 			for _, name := range suspects {
 				cl, ok := byName[name]
-				if !ok {
+				if !ok || seen[name] {
 					continue
 				}
+				seen[name] = true
 				r, err := measure(cl, *iters)
 				fatal(err)
 				for i := range rep.Cells {
@@ -312,6 +382,31 @@ func main() {
 					}
 				}
 			}
+		}
+		for _, n := range notes {
+			fmt.Printf("gate: note: %s\n", n)
+		}
+	}
+
+	if *appendTo != "" {
+		if len(gateFailures) > 0 {
+			fmt.Fprintln(os.Stderr, "bench: -append skipped: a gate failed")
+		} else {
+			// The history entry is the measurement alone — embedded
+			// baselines and speedup tables are per-run context that would
+			// bloat a committed trajectory.
+			entry := rep
+			entry.Baseline, entry.BaseRSSKB, entry.Speedups = nil, 0, nil
+			var entries []Report
+			if _, err := os.Stat(*appendTo); err == nil {
+				entries, err = loadHistory(*appendTo)
+				fatal(err)
+			}
+			entries = append(entries, entry)
+			hdata, err := json.MarshalIndent(History{Entries: entries}, "", "  ")
+			fatal(err)
+			fatal(os.WriteFile(*appendTo, append(hdata, '\n'), 0o644))
+			fmt.Printf("appended to %s (%d entries)\n", *appendTo, len(entries))
 		}
 	}
 
@@ -346,12 +441,18 @@ const gateWallTolerance = 0.10
 // so allocation counts must not drift at all; a hair of slack absorbs
 // runtime-internal noise) — plus the names of cells whose only offence
 // is wall time, which the caller may re-measure before accepting the
-// verdict. Large improvements pass but are called out on stdout so the
+// verdict, plus annotations for comparisons the gate skipped. Shard
+// cells skip the wall comparison when the committed report was
+// measured on a different core count (baseNumCPU vs the run's): their
+// wall scales with parallelism, so a 1-CPU CI host would otherwise
+// fail every shard cell a many-core dev box committed, and vice
+// versa. Large improvements pass but are called out on stdout so the
 // committed file gets regenerated. The deltas are recorded in the
 // report (Baseline/Speedups), which CI uploads as the artifact.
-func runGate(rep *Report, committed []CellResult) (failures, wallSuspects []string) {
+func runGate(rep *Report, committed []CellResult, baseNumCPU int) (failures, wallSuspects, notes []string) {
 	rep.Baseline = committed
 	rep.Speedups = map[string]SpeedupRow{}
+	cpuMismatch := baseNumCPU != 0 && rep.NumCPU != 0 && baseNumCPU != rep.NumCPU
 	for _, cur := range rep.Cells {
 		for _, base := range committed {
 			if base.Name != cur.Name || base.WallSec <= 0 {
@@ -362,15 +463,20 @@ func runGate(rep *Report, committed []CellResult) (failures, wallSuspects []stri
 				row.Allocs = base.AllocsPerA / cur.AllocsPerA
 			}
 			rep.Speedups[cur.Name] = row
-			slow := cur.WallSec/base.WallSec - 1
-			switch {
-			case slow > gateWallTolerance:
-				failures = append(failures, fmt.Sprintf("%s: wall %.3fs is %.0f%% over the committed %.3fs",
-					cur.Name, cur.WallSec, slow*100, base.WallSec))
-				wallSuspects = append(wallSuspects, cur.Name)
-			case slow < -gateWallTolerance:
-				fmt.Printf("%-20s gate: %.0f%% faster than the committed report — regenerate BENCH_core.json to keep it honest\n",
-					cur.Name, -slow*100)
+			if isShardCell(cur.Name) && cpuMismatch {
+				notes = append(notes, fmt.Sprintf("%s: wall comparison skipped — committed on %d CPUs, running on %d (shard walls scale with cores; allocs/op still gated)",
+					cur.Name, baseNumCPU, rep.NumCPU))
+			} else {
+				slow := cur.WallSec/base.WallSec - 1
+				switch {
+				case slow > gateWallTolerance:
+					failures = append(failures, fmt.Sprintf("%s: wall %.3fs is %.0f%% over the committed %.3fs",
+						cur.Name, cur.WallSec, slow*100, base.WallSec))
+					wallSuspects = append(wallSuspects, cur.Name)
+				case slow < -gateWallTolerance:
+					fmt.Printf("%-20s gate: %.0f%% faster than the committed report — regenerate BENCH_core.json to keep it honest\n",
+						cur.Name, -slow*100)
+				}
 			}
 			if cur.AllocsPerA > base.AllocsPerA+1e-3 {
 				failures = append(failures, fmt.Sprintf("%s: %.4f allocs/op, committed %.4f (allocation growth is gated at zero)",
@@ -378,5 +484,63 @@ func runGate(rep *Report, committed []CellResult) (failures, wallSuspects []stri
 			}
 		}
 	}
-	return failures, wallSuspects
+	return failures, wallSuspects, notes
+}
+
+// runTrend gates the run against the best historical point per cell:
+// across every history entry, the lowest wall (subject to the same
+// shard-cell NumCPU guard as runGate — only entries measured on this
+// core count count toward a shard cell's best wall) and the lowest
+// allocs/op. A run may match the latest entry and still fail here if
+// an older entry was better — the trajectory is not allowed to decay
+// one tolerable step at a time.
+func runTrend(rep *Report, hist []Report) (failures, wallSuspects, notes []string) {
+	for _, cur := range rep.Cells {
+		var bestWall, bestAllocs float64
+		var bestWallAt, bestAllocsAt string
+		wallSkipped := 0
+		for _, h := range hist {
+			cpuMismatch := h.NumCPU != 0 && rep.NumCPU != 0 && h.NumCPU != rep.NumCPU
+			for _, base := range h.Cells {
+				if base.Name != cur.Name || base.WallSec <= 0 {
+					continue
+				}
+				if isShardCell(cur.Name) && cpuMismatch {
+					wallSkipped++
+				} else if bestWall == 0 || base.WallSec < bestWall {
+					bestWall, bestWallAt = base.WallSec, entryLabel(h)
+				}
+				if base.AllocsPerA > 0 && (bestAllocs == 0 || base.AllocsPerA < bestAllocs) {
+					bestAllocs, bestAllocsAt = base.AllocsPerA, entryLabel(h)
+				}
+			}
+		}
+		if wallSkipped > 0 {
+			notes = append(notes, fmt.Sprintf("%s: %d historical wall point(s) skipped (different NumCPU)", cur.Name, wallSkipped))
+		}
+		if bestWall > 0 {
+			if slow := cur.WallSec/bestWall - 1; slow > gateWallTolerance {
+				failures = append(failures, fmt.Sprintf("%s: wall %.3fs is %.0f%% over the best historical %.3fs (%s)",
+					cur.Name, cur.WallSec, slow*100, bestWall, bestWallAt))
+				wallSuspects = append(wallSuspects, cur.Name)
+			}
+		}
+		if bestAllocs > 0 && cur.AllocsPerA > bestAllocs+1e-3 {
+			failures = append(failures, fmt.Sprintf("%s: %.4f allocs/op, best historical %.4f (%s)",
+				cur.Name, cur.AllocsPerA, bestAllocs, bestAllocsAt))
+		}
+	}
+	return failures, wallSuspects, notes
+}
+
+// entryLabel names a history entry in diagnostics: its commit when
+// recorded, its timestamp otherwise.
+func entryLabel(h Report) string {
+	if h.GitSHA != "" {
+		return h.GitSHA
+	}
+	if h.Generated != "" {
+		return h.Generated
+	}
+	return "unlabeled entry"
 }

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkReport(numCPU int, cells ...CellResult) Report {
+	return Report{GoVersion: "go-test", NumCPU: numCPU, Cells: cells}
+}
+
+func cell4(name string, wall, allocs float64) CellResult {
+	return CellResult{Name: name, Ops: 1000, WallSec: wall, NsPerOp: wall * 1e9 / 1000, AllocsPerA: allocs}
+}
+
+// TestGateSkipsShardWallOnNumCPUMismatch is the regression test for
+// the 1-CPU-runner gate bug: a shard cell's wall scales with host
+// cores, so comparing it against a baseline committed on a different
+// NumCPU must be skipped (with a note), not failed. Reverting the
+// guard in runGate makes this fail.
+func TestGateSkipsShardWallOnNumCPUMismatch(t *testing.T) {
+	base := []CellResult{
+		cell4("beff_t3e_16", 1.0, 5),
+		cell4("beff_t3e_16_shards4", 1.0, 5),
+	}
+	// A 1-CPU host runs the sharded cell 3x slower; the sequential
+	// cell is unchanged.
+	rep := mkReport(1,
+		cell4("beff_t3e_16", 1.0, 5),
+		cell4("beff_t3e_16_shards4", 3.0, 5),
+	)
+	failures, suspects, notes := runGate(&rep, base, 8)
+	if len(failures) != 0 {
+		t.Errorf("shard wall on mismatched NumCPU should not fail the gate: %v", failures)
+	}
+	if len(suspects) != 0 {
+		t.Errorf("no re-measure suspects expected: %v", suspects)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "shards4") || !strings.Contains(notes[0], "skipped") {
+		t.Errorf("expected one skip annotation for the shard cell: %v", notes)
+	}
+
+	// Allocs growth on the shard cell still fails even with the CPU
+	// mismatch — allocation counts are parallelism-independent.
+	rep = mkReport(1,
+		cell4("beff_t3e_16", 1.0, 5),
+		cell4("beff_t3e_16_shards4", 3.0, 7),
+	)
+	failures, _, _ = runGate(&rep, base, 8)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Errorf("allocs growth must stay gated across NumCPU: %v", failures)
+	}
+
+	// Same NumCPU: the shard wall comparison is live again.
+	rep = mkReport(8,
+		cell4("beff_t3e_16", 1.0, 5),
+		cell4("beff_t3e_16_shards4", 3.0, 5),
+	)
+	failures, suspects, notes = runGate(&rep, base, 8)
+	if len(failures) != 1 || len(suspects) != 1 {
+		t.Errorf("matching NumCPU should gate the shard wall: failures=%v suspects=%v", failures, suspects)
+	}
+	if len(notes) != 0 {
+		t.Errorf("no notes expected on matching NumCPU: %v", notes)
+	}
+}
+
+func TestGateWallAndAllocs(t *testing.T) {
+	base := []CellResult{cell4("beff_t3e_16", 1.0, 5)}
+	// Within tolerance: pass.
+	rep := mkReport(4, cell4("beff_t3e_16", 1.05, 5))
+	if f, s, _ := runGate(&rep, base, 4); len(f) != 0 || len(s) != 0 {
+		t.Errorf("5%% drift should pass: %v", f)
+	}
+	// Beyond tolerance: fail and suspect.
+	rep = mkReport(4, cell4("beff_t3e_16", 1.2, 5))
+	f, s, _ := runGate(&rep, base, 4)
+	if len(f) != 1 || len(s) != 1 {
+		t.Errorf("20%% drift should fail with a wall suspect: %v / %v", f, s)
+	}
+	// A speedup populates the Speedups table.
+	rep = mkReport(4, cell4("beff_t3e_16", 0.5, 5))
+	runGate(&rep, base, 4)
+	if row, ok := rep.Speedups["beff_t3e_16"]; !ok || row.Wall < 1.9 || row.Wall > 2.1 {
+		t.Errorf("speedup row = %+v", rep.Speedups)
+	}
+}
+
+// TestTrendGateUsesBestHistoricalPoint: the trend gate compares each
+// cell against the best value anywhere in the history, so a slow
+// decay that stays within tolerance of the latest entry still fails
+// against an older, better one.
+func TestTrendGateUsesBestHistoricalPoint(t *testing.T) {
+	hist := []Report{
+		func() Report {
+			r := mkReport(4, cell4("beff_t3e_16", 1.0, 5))
+			r.GitSHA = "aaaa111"
+			return r
+		}(),
+		mkReport(4, cell4("beff_t3e_16", 1.08, 5)), // 8% slower, tolerated vs previous
+	}
+	// 8% over the latest entry but 17% over the best point: must fail,
+	// and the message must name the best entry's commit.
+	rep := mkReport(4, cell4("beff_t3e_16", 1.17, 5))
+	failures, suspects, _ := runTrend(&rep, hist)
+	if len(failures) != 1 || len(suspects) != 1 {
+		t.Fatalf("decay past the best point should fail: %v", failures)
+	}
+	if !strings.Contains(failures[0], "aaaa111") {
+		t.Errorf("failure should name the best entry: %v", failures[0])
+	}
+
+	// Matching the best point passes.
+	rep = mkReport(4, cell4("beff_t3e_16", 1.02, 5))
+	if f, _, _ := runTrend(&rep, hist); len(f) != 0 {
+		t.Errorf("2%% over best should pass: %v", f)
+	}
+
+	// Allocs are gated against the historical best too.
+	rep = mkReport(4, cell4("beff_t3e_16", 1.0, 6))
+	if f, _, _ := runTrend(&rep, hist); len(f) != 1 || !strings.Contains(f[0], "allocs/op") {
+		t.Errorf("allocs decay should fail: %v", f)
+	}
+}
+
+// TestTrendShardNumCPUGuard: historical shard-cell walls recorded on
+// a different core count stay out of a shard cell's best-wall pool.
+func TestTrendShardNumCPUGuard(t *testing.T) {
+	hist := []Report{
+		mkReport(8, cell4("beff_t3e_16_shards4", 0.3, 5)), // many-core wall, unreachable on 1 CPU
+		mkReport(1, cell4("beff_t3e_16_shards4", 1.0, 5)),
+	}
+	rep := mkReport(1, cell4("beff_t3e_16_shards4", 1.05, 5))
+	failures, _, notes := runTrend(&rep, hist)
+	if len(failures) != 0 {
+		t.Errorf("1-CPU run should only compare against 1-CPU history: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "skipped") {
+		t.Errorf("expected a skip note: %v", notes)
+	}
+}
+
+func TestLoadHistoryBothFormats(t *testing.T) {
+	dir := t.TempDir()
+
+	single := filepath.Join(dir, "single.json")
+	rep := mkReport(4, cell4("beff_t3e_16", 1.0, 5))
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(single, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := loadHistory(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Cells[0].Name != "beff_t3e_16" {
+		t.Errorf("single report should load as a one-entry history: %+v", entries)
+	}
+
+	multi := filepath.Join(dir, "history.json")
+	data, err = json.Marshal(History{Entries: []Report{rep, rep}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(multi, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = loadHistory(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("history should load both entries, got %d", len(entries))
+	}
+
+	for name, content := range map[string]string{
+		"garbage.json": "{not json",
+		"empty.json":   "{}",
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := loadHistory(p); err == nil {
+			t.Errorf("%s should fail to load", name)
+		}
+	}
+}
+
+func TestIsShardCell(t *testing.T) {
+	if !isShardCell("beff_t3e_16_shards4") || !isShardCell("beff_t3e_64_shards8") {
+		t.Error("shard cells not recognised")
+	}
+	if isShardCell("beff_t3e_16") || isShardCell("beffio_t3e_8") {
+		t.Error("sequential cells misclassified")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -57,6 +58,10 @@ type Config struct {
 	MetricsInterval time.Duration
 	Progress        bool
 	DebugAddr       string
+
+	// Fleet surface (FleetFlags), used by the fleet command only.
+	Machines    string
+	ProcsLadder string
 
 	// Daemon surface (ServeFlags), used by beffd only.
 	Addr          string
@@ -167,6 +172,53 @@ func (c *Config) ObsFlags(fs *flag.FlagSet) {
 		"interval between -metrics snapshots; 0 writes only the final snapshot")
 	fs.BoolVar(&c.Progress, "progress", false, "paint a live progress line on stderr")
 	fs.StringVar(&c.DebugAddr, "debug-addr", "", "serve /metrics (Prometheus) and /vars (JSON) on this address while running")
+}
+
+// FleetFlags registers the fleet-sweep surface: -machines (comma-
+// separated profile keys, empty = every registered profile) and
+// -procs (the comma-separated partition ladder — entries above a
+// machine's MaxProcs clamp to it, so small machines still appear).
+func (c *Config) FleetFlags(fs *flag.FlagSet) {
+	fs = c.bind(fs)
+	fs.StringVar(&c.Machines, "machines", "",
+		"comma-separated machine profile keys to sweep (empty = every registered profile)")
+	fs.StringVar(&c.ProcsLadder, "procs", "4,8",
+		"comma-separated partition-size ladder; entries above a machine's MaxProcs clamp to it")
+}
+
+// ParseMachines splits the -machines list; empty means nil (all
+// profiles). Keys are not resolved here — FleetSpec validation owns
+// that, with its list-of-known-keys error.
+func (c *Config) ParseMachines() []string {
+	if strings.TrimSpace(c.Machines) == "" {
+		return nil
+	}
+	var keys []string
+	for _, k := range strings.Split(c.Machines, ",") {
+		if k = strings.TrimSpace(k); k != "" {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// ParseProcsLadder parses the -procs ladder into ints.
+func (c *Config) ParseProcsLadder() ([]int, error) {
+	var ladder []int
+	for _, s := range strings.Split(c.ProcsLadder, ",") {
+		if s = strings.TrimSpace(s); s == "" {
+			continue
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad -procs entry %q: not an integer", s)
+		}
+		ladder = append(ladder, n)
+	}
+	if len(ladder) == 0 {
+		return nil, fmt.Errorf("-procs ladder is empty")
+	}
+	return ladder, nil
 }
 
 // ServeFlags registers the daemon surface: -addr, -queue-limit,

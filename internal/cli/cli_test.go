@@ -1,0 +1,56 @@
+package cli
+
+import (
+	"flag"
+	"reflect"
+	"testing"
+)
+
+func TestFleetFlagsDefaults(t *testing.T) {
+	c := New("fleet")
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	c.FleetFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ParseMachines(); got != nil {
+		t.Errorf("default -machines should mean all profiles (nil), got %v", got)
+	}
+	ladder, err := c.ParseProcsLadder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ladder, []int{4, 8}) {
+		t.Errorf("default ladder = %v", ladder)
+	}
+}
+
+func TestParseMachines(t *testing.T) {
+	c := New("fleet")
+	c.Machines = " t3e, sp ,sx5,"
+	if got := c.ParseMachines(); !reflect.DeepEqual(got, []string{"t3e", "sp", "sx5"}) {
+		t.Errorf("ParseMachines = %v", got)
+	}
+	c.Machines = "  "
+	if got := c.ParseMachines(); got != nil {
+		t.Errorf("blank -machines = %v, want nil", got)
+	}
+}
+
+func TestParseProcsLadder(t *testing.T) {
+	c := New("fleet")
+	c.ProcsLadder = "4, 16,64"
+	ladder, err := c.ParseProcsLadder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ladder, []int{4, 16, 64}) {
+		t.Errorf("ladder = %v", ladder)
+	}
+	for _, bad := range []string{"", "4,x", "4;8"} {
+		c.ProcsLadder = bad
+		if _, err := c.ParseProcsLadder(); err == nil {
+			t.Errorf("ladder %q should fail", bad)
+		}
+	}
+}

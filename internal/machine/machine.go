@@ -247,15 +247,47 @@ func Keys() []string {
 	return ks
 }
 
-// All returns all profiles in a stable order: distributed machines
-// first, then shared-memory, each sorted by key.
-func All() []*Profile {
+// Profiles returns every registered profile in a stable order:
+// distributed machines first, then shared-memory, each sorted by key.
+// This is the enumeration fleet sweeps iterate — a newly registered
+// profile joins every fleet report without any command changing.
+func Profiles() []*Profile {
 	ps := make([]*Profile, 0, len(registry))
 	for _, k := range Keys() {
 		ps = append(ps, registry[k])
 	}
 	sort.SliceStable(ps, func(i, j int) bool { return ps[i].Class < ps[j].Class })
 	return ps
+}
+
+// All is the historical name of Profiles.
+func All() []*Profile { return Profiles() }
+
+// FabricFamily names the interconnect family of the profile — the
+// survey-taxonomy axis (torus, fat tree, crossbar, SMP cluster, bus)
+// rather than the exact calibration. Derived from the fabric the
+// profile actually builds, so it cannot drift from the model.
+func (p *Profile) FabricFamily() string {
+	procs := 2
+	if p.MaxProcs < procs {
+		procs = p.MaxProcs
+	}
+	sc := p.buildFabric(procs)
+	switch f := sc.fabric.(type) {
+	case *simnet.Torus3D:
+		return "3-D torus"
+	case *simnet.FatTree:
+		return "fat tree"
+	case *simnet.Crossbar:
+		return "crossbar"
+	case *simnet.SMPCluster:
+		if p.SMPNodeSize >= p.MaxProcs {
+			return "shared-memory bus"
+		}
+		return "SMP cluster"
+	default:
+		return fmt.Sprintf("%T", f)
+	}
 }
 
 func maxInt(a, b int) int {

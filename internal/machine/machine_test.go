@@ -37,6 +37,53 @@ func TestAllOrdering(t *testing.T) {
 	}
 }
 
+// TestProfilesEnumeration pins the fleet-sweep contract: Profiles
+// covers the whole registry, in the stable class-then-key order, and
+// every profile classifies into a known fabric family.
+func TestProfilesEnumeration(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != len(Keys()) {
+		t.Fatalf("Profiles() has %d entries, registry has %d keys", len(ps), len(Keys()))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Key] {
+			t.Errorf("duplicate profile %q in Profiles()", p.Key)
+		}
+		seen[p.Key] = true
+	}
+	if len(All()) != len(ps) {
+		t.Error("All() and Profiles() disagree")
+	}
+	known := map[string]bool{
+		"3-D torus": true, "fat tree": true, "crossbar": true,
+		"SMP cluster": true, "shared-memory bus": true,
+	}
+	for _, p := range ps {
+		if fam := p.FabricFamily(); !known[fam] {
+			t.Errorf("profile %q has unclassified fabric family %q", p.Key, fam)
+		}
+	}
+}
+
+func TestFabricFamilies(t *testing.T) {
+	for key, want := range map[string]string{
+		"t3e":     "3-D torus",
+		"myrinet": "fat tree",
+		"sr2201":  "crossbar",
+		"sp":      "SMP cluster",
+		"sx5":     "shared-memory bus",
+	} {
+		p, err := Lookup(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := p.FabricFamily(); got != want {
+			t.Errorf("%s fabric family = %q, want %q", key, got, want)
+		}
+	}
+}
+
 func TestLmaxMatchesTable1(t *testing.T) {
 	cases := []struct {
 		key  string

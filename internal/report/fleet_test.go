@@ -1,0 +1,176 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleFleet() *FleetReport {
+	return &FleetReport{
+		Seed: 1, MaxLooplength: 2, ProcsLadder: []int{4, 16},
+		Machines: []FleetMachine{
+			{
+				Key: "t3e", Name: "Cray T3E", Class: "distributed memory",
+				FabricFamily: "3-D torus", MaxProcs: 512,
+				Points: []FleetPoint{
+					{Procs: 4, Beff: 300e6, AtLmax: 600e6, RingAtLmax: 700e6, Lmax: 1 << 20},
+					{Procs: 16, Beff: 1200e6, AtLmax: 2400e6, RingAtLmax: 2500e6, PingPong: 300e6, Lmax: 1 << 20,
+						Perturbed: &FleetPerturbed{Profile: "stormy", Reps: 3, MaxOverReps: 1100e6, SensitivityPct: 8.3}},
+				},
+				Procs: 16, Beff: 1200e6, BeffPerProc: 75e6,
+				RmaxGF: 7.52, Balance: 0.1596, HasBalance: true, SensitivityPct: 8.3,
+			},
+			{
+				Key: "lab", Name: "Lab cluster", Class: "distributed memory",
+				FabricFamily: "fat tree", MaxProcs: 64,
+				Points: []FleetPoint{{Procs: 16, Beff: 400e6, AtLmax: 800e6, RingAtLmax: 900e6, PingPong: 100e6, Lmax: 2 << 20}},
+				Procs:  16, Beff: 400e6, BeffPerProc: 25e6,
+				// No published R_max: the n/a taxonomy row.
+				HasBalance: false,
+			},
+		},
+	}
+}
+
+func TestFleetTextRendering(t *testing.T) {
+	out := FleetText(sampleFleet())
+	for _, want := range []string{
+		"Fleet characterization: 2 machines",
+		"Table 1, fleet-wide", "Balance factors", "Taxonomy",
+		"Cray T3E", "Lab cluster", "3-D torus", "fat tree",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet text missing %q", want)
+		}
+	}
+	for _, bad := range []string{"Inf", "NaN"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("fleet text contains %q:\n%s", bad, out)
+		}
+	}
+	// The machine without an R_max renders n/a in both the balance
+	// chart and the taxonomy table.
+	if strings.Count(out, "n/a") < 2 {
+		t.Errorf("missing n/a rendering for the R_max-less machine:\n%s", out)
+	}
+}
+
+func TestFleetTable1RowsPingPongOnHeadline(t *testing.T) {
+	rows := sampleFleet().Table1Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Largest partition first per machine, ping-pong only there.
+	if rows[0].Procs != 16 || rows[0].PingPong == 0 {
+		t.Errorf("headline row lost its ping-pong: %+v", rows[0])
+	}
+	if rows[1].Procs != 4 || rows[1].PingPong != 0 {
+		t.Errorf("non-headline row should have no ping-pong: %+v", rows[1])
+	}
+}
+
+func TestFleetCSVShape(t *testing.T) {
+	var sb strings.Builder
+	if err := FleetCSV(&sb, sampleFleet()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if want := 1 + 3; len(lines) != want { // header + one row per point
+		t.Fatalf("csv rows = %d, want %d", len(lines), want)
+	}
+	if !strings.HasPrefix(lines[0], "key,system,class,fabric,procs") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	for _, l := range lines {
+		if strings.Contains(l, "NaN") || strings.Contains(l, "Inf") {
+			t.Errorf("csv row contains a non-finite value: %q", l)
+		}
+	}
+}
+
+func TestFleetJSONRoundTrip(t *testing.T) {
+	fr := sampleFleet()
+	data, err := FleetJSON(fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[len(data)-1] != '\n' {
+		t.Error("fleet JSON should end with a newline")
+	}
+	back, err := ParseFleetJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Machines) != 2 || back.Machines[0].Beff != fr.Machines[0].Beff {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if back.Machines[1].HasBalance {
+		t.Error("HasBalance=false should survive the round trip")
+	}
+	if _, err := ParseFleetJSON([]byte("{")); err == nil {
+		t.Error("malformed JSON should error")
+	}
+}
+
+func TestFleetDiff(t *testing.T) {
+	base := sampleFleet()
+	if msgs := FleetDiff(base, sampleFleet(), 0.01); len(msgs) != 0 {
+		t.Errorf("identical fleets should not diff: %v", msgs)
+	}
+
+	// A >1% b_eff move flags; a 0.5% move does not.
+	moved := sampleFleet()
+	moved.Machines[0].Beff *= 1.02
+	if msgs := FleetDiff(base, moved, 0.01); len(msgs) != 1 || !strings.Contains(msgs[0], "b_eff moved") {
+		t.Errorf("2%% b_eff move should flag once: %v", msgs)
+	}
+	small := sampleFleet()
+	small.Machines[0].Beff *= 1.005
+	if msgs := FleetDiff(base, small, 0.01); len(msgs) != 0 {
+		t.Errorf("0.5%% move should pass: %v", msgs)
+	}
+
+	// Balance-factor move flags independently of b_eff.
+	bal := sampleFleet()
+	bal.Machines[0].Balance *= 0.95
+	if msgs := FleetDiff(base, bal, 0.01); len(msgs) != 1 || !strings.Contains(msgs[0], "balance factor moved") {
+		t.Errorf("balance move should flag: %v", msgs)
+	}
+
+	// Balance appearing/disappearing flags.
+	gone := sampleFleet()
+	gone.Machines[0].HasBalance = false
+	gone.Machines[0].Balance = 0
+	if msgs := FleetDiff(base, gone, 0.01); len(msgs) != 1 || !strings.Contains(msgs[0], "disappeared") {
+		t.Errorf("lost balance factor should flag: %v", msgs)
+	}
+
+	// Machines joining or leaving the fleet flag.
+	shrunk := sampleFleet()
+	shrunk.Machines = shrunk.Machines[:1]
+	if msgs := FleetDiff(base, shrunk, 0.01); len(msgs) != 1 || !strings.Contains(msgs[0], "machine disappeared") {
+		t.Errorf("removed machine should flag: %v", msgs)
+	}
+	if msgs := FleetDiff(shrunk, base, 0.01); len(msgs) != 1 || !strings.Contains(msgs[0], "new machine") {
+		t.Errorf("added machine should flag: %v", msgs)
+	}
+
+	// A headline-partition change flags instead of a bogus relative move.
+	rescaled := sampleFleet()
+	rescaled.Machines[0].Procs = 32
+	if msgs := FleetDiff(base, rescaled, 0.01); len(msgs) != 1 || !strings.Contains(msgs[0], "headline partition moved") {
+		t.Errorf("partition move should flag: %v", msgs)
+	}
+}
+
+func TestRelMoveDefined(t *testing.T) {
+	if relMove(0, 0) != 0 {
+		t.Error("0→0 should be 0")
+	}
+	if got := relMove(0, 5); got != 1 {
+		t.Errorf("0→5 should be a defined 100%% move, got %v", got)
+	}
+	if got := relMove(100, 101); got < 0.009 || got > 0.011 {
+		t.Errorf("100→101 = %v", got)
+	}
+}

@@ -73,16 +73,27 @@ type BalanceRow struct {
 	RmaxGF float64 // GFlop/s
 }
 
-// BalanceFactor is b_eff per R_max in bytes per flop.
+// HasRmax reports whether the row carries a usable Linpack R_max — a
+// profile with a zero or unset R_max has no defined balance factor.
+func (b BalanceRow) HasRmax() bool { return b.RmaxGF > 0 }
+
+// BalanceFactor is b_eff per R_max in bytes per flop. The zero/unset
+// R_max guard matters: dividing through would yield ±Inf (or NaN for
+// 0/0), which poisons chart scaling and is unmarshalable in the fleet
+// JSON report. Callers that must distinguish "no R_max" from a true
+// zero use HasRmax.
 func (b BalanceRow) BalanceFactor() float64 {
-	if b.RmaxGF <= 0 {
+	if !b.HasRmax() {
 		return 0
 	}
 	return b.Beff / (b.RmaxGF * 1e9)
 }
 
 // BalanceChart renders Fig. 1: a horizontal bar chart of the balance
-// factor (communication bytes per flop) for each platform.
+// factor (communication bytes per flop) for each platform. A row
+// without R_max renders as a defined "n/a" line instead of a garbage
+// bar: it neither contributes to the chart scale nor masquerades as a
+// measured zero.
 func BalanceChart(rows []BalanceRow) string {
 	var sb strings.Builder
 	sb.WriteString("Balance factor b_eff / R_max (bytes communicated per flop)\n\n")
@@ -97,9 +108,13 @@ func BalanceChart(rows []BalanceRow) string {
 	}
 	const width = 50
 	for _, r := range rows {
+		label := fmt.Sprintf("%s (%d procs)", r.System, r.Procs)
+		if !r.HasRmax() {
+			fmt.Fprintf(&sb, "%-38s %7s |\n", label, "n/a")
+			continue
+		}
 		bf := r.BalanceFactor()
 		n := int(bf / maxBF * width)
-		label := fmt.Sprintf("%s (%d procs)", r.System, r.Procs)
 		fmt.Fprintf(&sb, "%-38s %7.4f |%s\n", label, bf, strings.Repeat("#", n))
 	}
 	return sb.String()

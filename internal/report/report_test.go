@@ -98,6 +98,46 @@ func TestBalanceChart(t *testing.T) {
 	}
 }
 
+// TestBalanceChartNoRmax is the regression test for the zero/unset
+// R_max reporting edge case: such a row must render as a defined
+// "n/a" line — not ±Inf, not NaN, and not a fake measured 0.0000 —
+// and must not disturb the bars of the rows that do have an R_max.
+// Reverting the n/a rendering in BalanceChart makes this fail.
+func TestBalanceChartNoRmax(t *testing.T) {
+	rows := []BalanceRow{
+		{System: "real", Procs: 16, Beff: 1000e6, RmaxGF: 10},
+		{System: "no-rmax", Procs: 16, Beff: 1000e6, RmaxGF: 0},
+	}
+	out := BalanceChart(rows)
+	for _, bad := range []string{"Inf", "NaN", "0.0000"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("chart contains %q for an unset R_max:\n%s", bad, out)
+		}
+	}
+	var naLine string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "no-rmax") {
+			naLine = line
+		}
+	}
+	if !strings.Contains(naLine, "n/a") {
+		t.Errorf("no-rmax row should render n/a, got %q", naLine)
+	}
+	if strings.Contains(naLine, "#") {
+		t.Errorf("no-rmax row should carry no bar, got %q", naLine)
+	}
+	// The real row still scales against itself only: full-width bar.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "real (") && strings.Count(line, "#") != 50 {
+			t.Errorf("real row lost its full bar: %q", line)
+		}
+	}
+	// All-n/a charts stay well-formed too.
+	if all := BalanceChart(rows[1:]); strings.Contains(all, "Inf") || strings.Contains(all, "NaN") {
+		t.Errorf("all-n/a chart malformed:\n%s", all)
+	}
+}
+
 func TestBalanceFactorUnits(t *testing.T) {
 	// 19919 MB/s on ~240 GF → ~0.083 bytes/flop (the T3E ballpark).
 	r := BalanceRow{Beff: 19919e6, RmaxGF: 240}

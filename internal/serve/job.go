@@ -22,6 +22,12 @@ type job struct {
 
 	reg *obs.Registry
 
+	// fleetSpec and fleetRefs are set on fleet jobs: the spec the
+	// request expanded from and the (machine, procs) → cell-index map
+	// the result endpoint assembles the fleet report with.
+	fleetSpec *runner.FleetSpec
+	fleetRefs []runner.FleetPointRef
+
 	mu       sync.Mutex
 	cells    []*cell
 	resolved int // cells whose handle has fired

@@ -33,7 +33,9 @@ import (
 	"sync"
 	"time"
 
+	"github.com/hpcbench/beff/internal/core"
 	"github.com/hpcbench/beff/internal/obs"
+	"github.com/hpcbench/beff/internal/report"
 	"github.com/hpcbench/beff/internal/runner"
 )
 
@@ -262,10 +264,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "invalid_request", "%v", err)
 		return
 	}
-	tasks, err := spec.tasks(s.cache, s.reg)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid_request", "%v", err)
-		return
+	var tasks []runner.Task
+	var fspec *runner.FleetSpec
+	var frefs []runner.FleetPointRef
+	if spec.Fleet {
+		var cells []runner.Cell[*core.Result]
+		var err error
+		fspec, err = spec.fleetSpec(s.reg)
+		if err == nil {
+			cells, frefs, err = runner.FleetCells(fspec)
+		}
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid_request", "%v", err)
+			return
+		}
+		for _, c := range cells {
+			tasks = append(tasks, runner.JSONTask(c, s.cache))
+		}
+	} else {
+		var err error
+		tasks, err = spec.tasks(s.cache, s.reg)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid_request", "%v", err)
+			return
+		}
 	}
 
 	// Admission: all-or-nothing under one lock, so a rejected request
@@ -295,6 +317,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.nextID++
 	j := newJob(fmt.Sprintf("j%d", s.nextID), client, spec.Bench, time.Now())
+	j.fleetSpec, j.fleetRefs = fspec, frefs
 	s.pending += len(tasks)
 	s.clientJobs[client]++
 	s.jobs[j.id] = j
@@ -433,6 +456,11 @@ type jobResult struct {
 	ID    string       `json:"id"`
 	Bench string       `json:"bench"`
 	Cells []cellResult `json:"cells"`
+
+	// Fleet is the assembled fleet report of a fleet job; FleetError
+	// explains its absence (a failed or canceled cell).
+	Fleet      *report.FleetReport `json:"fleet,omitempty"`
+	FleetError string              `json:"fleet_error,omitempty"`
 }
 
 type cellResult struct {
@@ -469,8 +497,36 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		}
 		out.Cells = append(out.Cells, cr)
 	}
+	if j.fleetSpec != nil {
+		fr, err := assembleFleetLocked(j)
+		if err != nil {
+			out.FleetError = err.Error()
+		} else {
+			out.Fleet = fr
+		}
+	}
 	j.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
+}
+
+// assembleFleetLocked folds a finished fleet job's raw cell values
+// into the fleet report. Caller holds j.mu.
+func assembleFleetLocked(j *job) (*report.FleetReport, error) {
+	values := make([]*core.Result, len(j.cells))
+	for i, c := range j.cells {
+		switch {
+		case c.state == runner.TaskCanceled:
+			return nil, fmt.Errorf("cell %d (%s) canceled", i, c.key)
+		case c.err != nil:
+			return nil, fmt.Errorf("cell %d (%s): %v", i, c.key, c.err)
+		}
+		var res core.Result
+		if err := json.Unmarshal(c.value, &res); err != nil {
+			return nil, fmt.Errorf("cell %d (%s): decode result: %v", i, c.key, err)
+		}
+		values[i] = &res
+	}
+	return runner.AssembleFleet(j.fleetSpec, j.fleetRefs, values)
 }
 
 // handleCellResult serves one cell's raw result bytes — exactly the

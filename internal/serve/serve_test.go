@@ -665,3 +665,123 @@ func TestGoldenAcrossCacheBackends(t *testing.T) {
 		}
 	})
 }
+
+// TestFleetSweep submits a fleet: true request and checks the result
+// carries an assembled fleet report alongside the per-cell values.
+func TestFleetSweep(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4})
+	code, data := post(t, ts, "/api/v1/sweeps", `{
+		"fleet": true,
+		"machines": ["t3e", "sx5"],
+		"procs": [4, 16],
+		"lmax_override": 65536,
+		"max_looplength": 2,
+		"skip_analysis": true
+	}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", code, data)
+	}
+	st := decodeStatus(t, data)
+	if st.Bench != "beff" {
+		t.Errorf("fleet job bench = %q, want beff", st.Bench)
+	}
+	// t3e takes both ladder rungs, sx5 clamps {4,16} to {4,8}: 4 cells.
+	if st.CellsTotal != 4 {
+		t.Errorf("cells = %d, want 4", st.CellsTotal)
+	}
+	waitState(t, ts, st.ID, func(s JobStatus) bool { return s.State == "done" })
+
+	code, data = get(t, ts, "/api/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d: %s", code, data)
+	}
+	var out struct {
+		Cells []cellResult `json:"cells"`
+		Fleet *struct {
+			ProcsLadder []int `json:"procs_ladder"`
+			Machines    []struct {
+				Key   string  `json:"key"`
+				Procs int     `json:"procs"`
+				Beff  float64 `json:"beff"`
+			} `json:"machines"`
+		} `json:"fleet"`
+		FleetError string `json:"fleet_error"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("decode result: %v\n%s", err, data)
+	}
+	if out.FleetError != "" {
+		t.Fatalf("fleet assembly failed: %s", out.FleetError)
+	}
+	if out.Fleet == nil || len(out.Fleet.Machines) != 2 {
+		t.Fatalf("fleet report malformed: %s", data)
+	}
+	byKey := map[string]int{}
+	for _, m := range out.Fleet.Machines {
+		byKey[m.Key] = m.Procs
+		if m.Beff <= 0 {
+			t.Errorf("%s: non-positive b_eff", m.Key)
+		}
+	}
+	if byKey["t3e"] != 16 || byKey["sx5"] != 8 {
+		t.Errorf("headline partitions = %v, want t3e@16 sx5@8 (clamped)", byKey)
+	}
+	if len(out.Cells) != 4 {
+		t.Errorf("result cells = %d, want 4", len(out.Cells))
+	}
+}
+
+// TestFleetSweepDefaultsToWholeRegistry leaves machines empty: the
+// request must expand to every registered profile.
+func TestFleetSweepDefaultsToWholeRegistry(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 8})
+	code, data := post(t, ts, "/api/v1/sweeps", `{
+		"fleet": true,
+		"procs": [4],
+		"lmax_override": 65536,
+		"max_looplength": 1,
+		"skip_analysis": true
+	}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", code, data)
+	}
+	st := decodeStatus(t, data)
+	if st.CellsTotal < 13 {
+		t.Errorf("cells = %d, want one per registered profile (>= 13)", st.CellsTotal)
+	}
+	waitState(t, ts, st.ID, func(s JobStatus) bool { return s.State == "done" })
+	code, data = get(t, ts, "/api/v1/jobs/"+st.ID+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d: %s", code, data)
+	}
+	var out struct {
+		Fleet *struct {
+			Machines []json.RawMessage `json:"machines"`
+		} `json:"fleet"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Fleet == nil || len(out.Fleet.Machines) != st.CellsTotal {
+		t.Errorf("fleet machines = %v, want %d", out.Fleet, st.CellsTotal)
+	}
+}
+
+// TestFleetSweepValidation pins the fleet-specific request errors.
+func TestFleetSweepValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, body := range []string{
+		`{"fleet": true, "bench": "beffio"}`,
+		`{"fleet": true, "procs": [1]}`,
+		`{"fleet": true, "machines": ["no-such-machine"]}`,
+		`{"fleet": true, "perturb": "no-such-preset"}`,
+	} {
+		code, data := post(t, ts, "/api/v1/sweeps", body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", body, code, data)
+		}
+		if got := errCode(t, data); got != "invalid_request" {
+			t.Errorf("%s: error code %q", body, got)
+		}
+	}
+}

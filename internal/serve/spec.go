@@ -20,13 +20,24 @@ import (
 // like the same cell run through cmd/beff, cmd/beffio or
 // cmd/robustness.
 type SweepRequest struct {
-	// Bench selects the benchmark: "beff" or "beffio".
+	// Fleet turns the request into a fleet characterization sweep:
+	// machines defaults to every registered profile, procs becomes a
+	// clamped ladder (entries above a machine's MaxProcs collapse onto
+	// it), reps counts perturbed repetitions per point (0 with no
+	// perturb preset), and the job's result carries an assembled
+	// fleet report alongside the per-cell values. Fleet sweeps measure
+	// b_eff only.
+	Fleet bool `json:"fleet,omitempty"`
+
+	// Bench selects the benchmark: "beff" or "beffio" (fleet requests
+	// default it to "beff").
 	Bench string `json:"bench"`
 
 	// Machines are registry profile keys (see cmd/beff -list). The
 	// HTTP API deliberately accepts only registered profiles — ad-hoc
 	// JSON machine definitions would make the service an arbitrary
-	// compute endpoint.
+	// compute endpoint. A fleet request may leave it empty for every
+	// registered profile.
 	Machines []string `json:"machines"`
 
 	// Procs are the partition sizes to sweep.
@@ -73,7 +84,10 @@ type SweepRequest struct {
 
 // normalize applies defaults in place.
 func (r *SweepRequest) normalize() {
-	if r.Reps == 0 {
+	if r.Fleet && r.Bench == "" {
+		r.Bench = "beff"
+	}
+	if r.Reps == 0 && !r.Fleet {
 		r.Reps = 1
 	}
 	if r.Seed == 0 {
@@ -96,27 +110,39 @@ func (r *SweepRequest) normalize() {
 // validate rejects malformed requests with a message fit for the
 // error response body.
 func (r *SweepRequest) validate() error {
-	if r.Bench != "beff" && r.Bench != "beffio" {
-		return fmt.Errorf("bench must be %q or %q, got %q", "beff", "beffio", r.Bench)
-	}
-	if len(r.Machines) == 0 {
-		return fmt.Errorf("machines must name at least one profile")
+	if r.Fleet {
+		if r.Bench != "beff" {
+			return fmt.Errorf("fleet sweeps measure %q only, got bench %q", "beff", r.Bench)
+		}
+		if r.Reps < 0 {
+			return fmt.Errorf("reps must be >= 0, got %d", r.Reps)
+		}
+	} else {
+		if r.Bench != "beff" && r.Bench != "beffio" {
+			return fmt.Errorf("bench must be %q or %q, got %q", "beff", "beffio", r.Bench)
+		}
+		if len(r.Machines) == 0 {
+			return fmt.Errorf("machines must name at least one profile")
+		}
+		if len(r.Procs) == 0 {
+			return fmt.Errorf("procs must list at least one partition size")
+		}
+		if r.Reps < 1 {
+			return fmt.Errorf("reps must be >= 1, got %d", r.Reps)
+		}
 	}
 	for _, key := range r.Machines {
 		if _, err := machine.Lookup(key); err != nil {
 			return err
 		}
 	}
-	if len(r.Procs) == 0 {
-		return fmt.Errorf("procs must list at least one partition size")
-	}
 	for _, p := range r.Procs {
 		if p < 1 {
 			return fmt.Errorf("procs entries must be >= 1, got %d", p)
 		}
-	}
-	if r.Reps < 1 {
-		return fmt.Errorf("reps must be >= 1, got %d", r.Reps)
+		if r.Fleet && p < 2 {
+			return fmt.Errorf("fleet procs ladder entries must be >= 2, got %d", p)
+		}
 	}
 	if r.Seed < 1 {
 		return fmt.Errorf("seed must be >= 1, got %d", r.Seed)
@@ -139,6 +165,34 @@ func (r *SweepRequest) validate() error {
 		}
 	}
 	return nil
+}
+
+// fleetSpec builds the runner spec of a fleet request. Perturbation
+// presets resolve here; the spec's own Normalize (called by
+// FleetCells) applies ladder defaults and the reps/perturb coupling.
+func (r *SweepRequest) fleetSpec(reg *obs.Registry) (*runner.FleetSpec, error) {
+	var prof *perturb.Profile
+	if r.Perturb != "" {
+		p, err := perturb.Preset(r.Perturb)
+		if err != nil {
+			return nil, err
+		}
+		prof = p
+	}
+	return &runner.FleetSpec{
+		Machines:      r.Machines,
+		Procs:         r.Procs,
+		Seed:          r.Seed,
+		Reps:          r.Reps,
+		Perturb:       prof,
+		PerturbName:   r.Perturb,
+		MaxLooplength: r.MaxLooplength,
+		InnerReps:     r.InnerReps,
+		SkipAnalysis:  r.SkipAnalysis,
+		LmaxOverride:  r.LmaxOverride,
+		Shards:        r.Shards,
+		Obs:           reg,
+	}, nil
 }
 
 // tasks expands the request into pool tasks, one per

@@ -1,6 +1,15 @@
 // Package stats provides the averaging machinery the b_eff and
 // b_eff_io definitions prescribe: logarithmic averages, weighted
 // averages, and small helpers for formatting bandwidths.
+//
+// Degenerate-input contract: every summary in this package returns a
+// finite, JSON-marshalable value for every input. Non-finite samples
+// (NaN, ±Inf) are dropped before summarising, an empty (or
+// all-non-finite) sample yields zero, and a single-element sample
+// yields that element for the location statistics and zero for the
+// spread statistics (StdDev, CV). Fleet and robustness summaries are
+// serialised as JSON, where a NaN is not representable — a reps=1 run
+// or a failed repetition must degrade to zeros, never to NaN.
 package stats
 
 import (
@@ -30,8 +39,27 @@ func LogAvg(xs ...float64) float64 {
 	return math.Exp(sum / float64(len(xs)))
 }
 
-// Mean returns the arithmetic mean, 0 for empty input.
+// finite filters the non-finite samples out, reusing the input slice
+// when nothing needs dropping (the overwhelmingly common case).
+func finite(xs []float64) []float64 {
+	for i, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			kept := append([]float64(nil), xs[:i]...)
+			for _, y := range xs[i+1:] {
+				if !math.IsNaN(y) && !math.IsInf(y, 0) {
+					kept = append(kept, y)
+				}
+			}
+			return kept
+		}
+	}
+	return xs
+}
+
+// Mean returns the arithmetic mean of the finite samples, 0 for empty
+// input.
 func Mean(xs ...float64) float64 {
+	xs = finite(xs)
 	if len(xs) == 0 {
 		return 0
 	}
@@ -59,8 +87,9 @@ func WeightedMean(xs, ws []float64) float64 {
 	return sx / sw
 }
 
-// Max returns the maximum, 0 for empty input.
+// Max returns the maximum of the finite samples, 0 for empty input.
 func Max(xs ...float64) float64 {
+	xs = finite(xs)
 	if len(xs) == 0 {
 		return 0
 	}
@@ -73,8 +102,9 @@ func Max(xs ...float64) float64 {
 	return m
 }
 
-// Min returns the minimum, 0 for empty input.
+// Min returns the minimum of the finite samples, 0 for empty input.
 func Min(xs ...float64) float64 {
+	xs = finite(xs)
 	if len(xs) == 0 {
 		return 0
 	}
@@ -87,9 +117,11 @@ func Min(xs ...float64) float64 {
 	return m
 }
 
-// Median returns the middle value (mean of the two middle values for
-// even counts), 0 for empty input. The input is not modified.
+// Median returns the middle finite value (mean of the two middle
+// values for even counts), 0 for empty input. The input is not
+// modified.
 func Median(xs ...float64) float64 {
+	xs = finite(xs)
 	if len(xs) == 0 {
 		return 0
 	}
@@ -102,9 +134,10 @@ func Median(xs ...float64) float64 {
 	return (s[mid-1] + s[mid]) / 2
 }
 
-// StdDev returns the population standard deviation, 0 for fewer than
-// two values.
+// StdDev returns the population standard deviation of the finite
+// samples, 0 for fewer than two values.
 func StdDev(xs ...float64) float64 {
+	xs = finite(xs)
 	if len(xs) < 2 {
 		return 0
 	}
@@ -130,8 +163,14 @@ type Robust struct {
 	CV float64
 }
 
-// Describe computes the Robust summary of the values.
+// Describe computes the Robust summary of the finite samples. N
+// counts the samples actually summarised, so a caller can tell a
+// degenerate summary (N < 2: spread statistics are zero by
+// definition, not measurement) from a real one. Every field is
+// finite for every input — a Robust always survives a JSON round
+// trip.
 func Describe(xs ...float64) Robust {
+	xs = finite(xs)
 	r := Robust{
 		N:      len(xs),
 		Min:    Min(xs...),

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"testing"
 	"testing/quick"
@@ -128,6 +129,76 @@ func TestDescribe(t *testing.T) {
 	}
 	if e := Describe(); e.N != 0 || e.CV != 0 {
 		t.Errorf("empty Describe = %+v", e)
+	}
+}
+
+// TestDegenerateInputContract pins the package contract the fleet and
+// robustness JSON reports depend on: every summary stays finite for
+// empty, single-element and NaN/Inf-polluted samples — a NaN is not
+// representable in JSON, so a single poisoned repetition must not
+// make a whole fleet report unmarshalable. This test fails if the
+// finite-sample filtering is reverted.
+func TestDegenerateInputContract(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+
+	// NaN/Inf samples are dropped, not propagated.
+	if got := Median(nan, 1, 3); got != 2 {
+		t.Errorf("Median(NaN,1,3) = %v, want 2 (NaN dropped)", got)
+	}
+	if got := Mean(nan, 2, 4); got != 3 {
+		t.Errorf("Mean(NaN,2,4) = %v, want 3", got)
+	}
+	if got := StdDev(inf, 5, 5); got != 0 {
+		t.Errorf("StdDev(Inf,5,5) = %v, want 0", got)
+	}
+	if got := Max(nan, 7); got != 7 {
+		t.Errorf("Max(NaN,7) = %v, want 7", got)
+	}
+	if got := Min(inf, 7); got != 7 {
+		t.Errorf("Min(Inf,7) = %v, want 7", got)
+	}
+
+	// An all-non-finite sample degrades like an empty one.
+	if got := Median(nan, nan); got != 0 {
+		t.Errorf("all-NaN Median = %v, want 0", got)
+	}
+
+	// Describe: every field finite, N counts the summarised samples.
+	for name, r := range map[string]Robust{
+		"empty":    Describe(),
+		"single":   Describe(42),
+		"poisoned": Describe(nan, 10, inf, 20),
+		"all-nan":  Describe(nan, nan),
+	} {
+		for field, v := range map[string]float64{
+			"Min": r.Min, "Median": r.Median, "Mean": r.Mean,
+			"Max": r.Max, "StdDev": r.StdDev, "CV": r.CV,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s Describe %s = %v, want finite", name, field, v)
+			}
+		}
+	}
+	if r := Describe(42); r.N != 1 || r.Min != 42 || r.Median != 42 || r.Mean != 42 || r.Max != 42 || r.StdDev != 0 || r.CV != 0 {
+		t.Errorf("reps=1 Describe = %+v, want location stats 42 and spread stats 0", r)
+	}
+	if r := Describe(nan, 10, inf, 20); r.N != 2 || r.Min != 10 || r.Max != 20 {
+		t.Errorf("poisoned Describe = %+v, want N=2 over the finite samples", r)
+	}
+
+	// The filtered summary must survive a JSON round trip.
+	if _, err := json.Marshal(Describe(nan, 1)); err != nil {
+		t.Errorf("Describe with NaN sample not marshalable: %v", err)
+	}
+}
+
+// TestFiniteDoesNotMutate guards the filter's aliasing: dropping a
+// sample must copy, never compact the caller's slice in place.
+func TestFiniteDoesNotMutate(t *testing.T) {
+	xs := []float64{1, math.NaN(), 3}
+	Median(xs...)
+	if xs[0] != 1 || !math.IsNaN(xs[1]) || xs[2] != 3 {
+		t.Errorf("filter mutated its input: %v", xs)
 	}
 }
 
