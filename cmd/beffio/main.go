@@ -10,9 +10,12 @@
 //	beffio -machine sp -sweep 8,16,32,64
 //	beffio -machine sp -procs 8 -perturb io-hiccup -seed 3 -reps 3
 //	beffio -machine sp -procs 16 -progress -metrics io.ndjson
+//	beffio -machine bb -procs 8 -workload examples/workloads/bursty.json
+//	beffio -machine dragonfly -procs 16 -workload spec.json -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +32,7 @@ import (
 	"github.com/hpcbench/beff/internal/report"
 	"github.com/hpcbench/beff/internal/simfs"
 	"github.com/hpcbench/beff/internal/stats"
+	"github.com/hpcbench/beff/internal/workload"
 )
 
 func main() {
@@ -53,6 +57,8 @@ func main() {
 		csvPath   = flag.String("csv", "", "write the detail protocol as CSV to this file")
 		sweep     = flag.String("sweep", "", "comma-separated partition sizes; runs each and reports the system maximum")
 		maxReps   = flag.Int("maxreps", 1<<14, "cap repetitions per pattern (bounds simulation cost)")
+		wlPath    = flag.String("workload", "", "run a workload-grammar spec (JSON file, see docs/API.md) instead of the Table-2 benchmark")
+		wlJSON    = flag.Bool("json", false, "with -workload: print the result as canonical JSON (the golden-corpus encoding)")
 	)
 	flag.Parse()
 
@@ -153,6 +159,76 @@ func main() {
 	}
 
 	o.StartTicker()
+
+	if *wlPath != "" {
+		switch {
+		case *sweep != "":
+			c.UsageErr("-workload and -sweep are mutually exclusive")
+		case *detail || *csvPath != "" || *randomExt:
+			c.UsageErr("-detail, -csv and -random describe the Table-2 benchmark, not -workload runs")
+		}
+		spec, err := workload.ParseFile(*wlPath)
+		c.Fatal(err)
+		c.Fatal(spec.Runnable())
+
+		runWL := func(perturbSeed int64) *workload.Result {
+			w, fs, err := setupWith(perturbSeed)(c.Procs)
+			c.Fatal(err)
+			var chk *check.Checker
+			if c.Check {
+				chk = check.New()
+				chk.WatchWorld(&w)
+				chk.WatchNet(w.Net)
+				chk.WatchFS(fs)
+			}
+			res, err := workload.Run(w, fs, spec)
+			c.Fatal(err)
+			if chk != nil {
+				c.Fatal(chk.Finish())
+			}
+			return res
+		}
+
+		if c.Reps > 1 {
+			values := make([]float64, 0, c.Reps)
+			lines := make([]string, 0, c.Reps)
+			for r := 0; r < c.Reps; r++ {
+				rs := perturb.RepSeed(c.Seed, r)
+				res := runWL(rs)
+				values = append(values, res.BW)
+				lines = append(lines, fmt.Sprintf("rep %2d (seed %20d): %9.1f MB/s", r, rs, res.BW/1e6))
+			}
+			o.Close()
+			for _, l := range lines {
+				fmt.Println(l)
+			}
+			s := stats.Describe(values...)
+			fmt.Printf("\nmin / median / max = %.1f / %.1f / %.1f MB/s   mean %.1f   CV %.2f%%\n",
+				s.Min/1e6, s.Median/1e6, s.Max/1e6, s.Mean/1e6, 100*s.CV)
+			fmt.Printf("workload %s: max over %d repetitions = %.1f MB/s (%d processes)\n",
+				spec.Name, c.Reps, s.Max/1e6, c.Procs)
+			return
+		}
+
+		res := runWL(c.Seed)
+		o.Close()
+		if *wlJSON {
+			data, err := json.MarshalIndent(res, "", "  ")
+			c.Fatal(err)
+			os.Stdout.Write(append(data, '\n'))
+			return
+		}
+		if c.Check {
+			fmt.Println("check: all invariants held")
+		}
+		fmt.Printf("machine: %s   workload: %s (seed %d, %d processes)\n", p.Name, res.Name, res.Seed, res.Procs)
+		for _, ph := range res.Phases {
+			fmt.Printf("  %-14s %8d ops  %12d B read  %12d B written  %9.1f MB/s\n",
+				ph.Name, ph.Ops, ph.ReadBytes, ph.WriteBytes, ph.BW/1e6)
+		}
+		fmt.Printf("aggregate: %d B in %.4f s = %.1f MB/s\n", res.TotalBytes, res.Seconds, res.BW/1e6)
+		return
+	}
 
 	if *sweep != "" {
 		sizes, err := parseSizes(*sweep)

@@ -122,6 +122,77 @@ func TestBadSweepListFails(t *testing.T) {
 	}
 }
 
+// workloadSpec writes a tiny two-phase workload spec for CLI tests.
+func workloadSpec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wl.json")
+	spec := `{"name":"cli-smoke","seed":3,"phases":[
+	  {"name":"w","pattern":{"op":"shared","count":2,"chunk":16384}},
+	  {"name":"r","pattern":{"op":"shared","count":2,"chunk":16384,"read":true}}]}`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWorkloadRunSucceeds(t *testing.T) {
+	out, code := run(t, "-config", tinyConfig(t), "-procs", "2", "-workload", workloadSpec(t), "-check")
+	if code != 0 {
+		t.Fatalf("workload run failed (%d):\n%s", code, out)
+	}
+	for _, want := range []string{"check: all invariants held", "workload: cli-smoke", "aggregate:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWorkloadJSONOutputIsDeterministic(t *testing.T) {
+	spec := workloadSpec(t)
+	a, code := run(t, "-config", tinyConfig(t), "-procs", "2", "-workload", spec, "-json")
+	if code != 0 {
+		t.Fatalf("workload -json failed (%d):\n%s", code, a)
+	}
+	if !strings.HasPrefix(a, "{") || !strings.Contains(a, `"Name": "cli-smoke"`) {
+		t.Fatalf("not canonical JSON:\n%s", a)
+	}
+	b, _ := run(t, "-config", tinyConfig(t), "-procs", "2", "-workload", spec, "-json")
+	if a != b {
+		t.Fatalf("two runs differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestWorkloadFlagConflictsRejected(t *testing.T) {
+	spec := workloadSpec(t)
+	for _, args := range [][]string{
+		{"-config", "", "-workload", spec, "-sweep", "2,4"},
+		{"-config", "", "-workload", spec, "-detail"},
+	} {
+		args[1] = tinyConfig(t)
+		out, code := run(t, args...)
+		if code == 0 {
+			t.Errorf("%v accepted", args)
+		}
+		if !strings.Contains(out, "Usage") {
+			t.Errorf("%v: no usage text:\n%s", args, out)
+		}
+	}
+}
+
+func TestWorkloadBadSpecFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"name":"x","phases":[{"name":"p","pattern":{"op":"warp","chunk":1}}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := run(t, "-config", tinyConfig(t), "-procs", "2", "-workload", path)
+	if code == 0 {
+		t.Fatalf("malformed workload spec accepted:\n%s", out)
+	}
+	if !strings.Contains(out, "beffio:") {
+		t.Fatalf("no error message:\n%s", out)
+	}
+}
+
 func TestCheckedRunSucceeds(t *testing.T) {
 	out, code := run(t, "-config", tinyConfig(t), "-procs", "2", "-T", "0.05", "-check")
 	if code != 0 {

@@ -27,7 +27,7 @@ func main() {
 	}
 
 	col := trace.New()
-	world.Net.SetOnTransfer(col.OnTransfer)
+	world.Net.Observe(col.OnTransfer)
 
 	res, err := core.Run(world, core.Options{
 		MemoryPerProc: profile.MemoryPerProc,

@@ -8,7 +8,11 @@
 // weight for the scatter type; 25% write / 25% rewrite / 50% read).
 package beffio
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/hpcbench/beff/internal/workload"
+)
 
 // PatternType is one of the five data-layout families of Fig. 2.
 type PatternType int
@@ -101,63 +105,50 @@ func (p Pattern) String() string {
 	return fmt.Sprintf("pattern %d (%v, l=%d, L=%d, U=%d)", p.Num, p.Type, p.DiskChunk, p.MemChunk, p.U)
 }
 
-// chunkRow is the (l, U) list shared by the non-scatter types.
-type chunkRow struct {
-	l          int64
-	u          int
-	wellformed bool
+// patternTypeOf maps a workload table row to the pattern family.
+func patternTypeOf(r workload.TableRow) (PatternType, error) {
+	switch r.Op {
+	case workload.OpStrided:
+		return Scatter, nil
+	case workload.OpShared:
+		return SharedColl, nil
+	case workload.OpSeparate:
+		return Separate, nil
+	case workload.OpSegmented:
+		if r.Collective {
+			return SegmentedColl, nil
+		}
+		return Segmented, nil
+	}
+	return 0, fmt.Errorf("beffio: no pattern type for workload op %q", r.Op)
 }
 
 // Table2 builds the full pattern list of the paper's Table 2 for a
-// given M_PART = max(2 MB, node memory / 128). The returned slice has
-// 43 entries numbered 0..42; exactly 36 have U > 0 (the "36 different
-// patterns" of §3.2) and the Us sum to 64.
+// given M_PART = max(2 MB, node memory / 128). The table is generated
+// from the workload grammar (workload.Table2Spec) — Table 2 is just
+// one canned spec. The returned slice has 43 entries numbered 0..42;
+// exactly 36 have U > 0 (the "36 different patterns" of §3.2) and the
+// Us sum to 64.
 func Table2(mpart int64) []Pattern {
-	var out []Pattern
-	add := func(t PatternType, l, L int64, u int, wf bool) {
+	rows, err := workload.Table2Spec(mpart).TableRows()
+	if err != nil {
+		panic(err) // the canned spec is table-style by construction
+	}
+	out := make([]Pattern, 0, len(rows))
+	for _, r := range rows {
+		t, err := patternTypeOf(r)
+		if err != nil {
+			panic(err)
+		}
 		out = append(out, Pattern{
-			Num: len(out), Type: t, DiskChunk: l, MemChunk: L, U: u, Wellformed: wf,
+			Num:        len(out),
+			Type:       t,
+			DiskChunk:  r.Chunk,
+			MemChunk:   r.Mem,
+			U:          r.U,
+			Wellformed: r.Wellformed,
 		})
 	}
-
-	// Type 0: scatter, collective — Table 2 left block.
-	add(Scatter, 1*mB, 1*mB, 0, true)
-	add(Scatter, mpart, mpart, 4, true)
-	add(Scatter, 1*mB, 2*mB, 4, true)
-	add(Scatter, 1*mB, 1*mB, 4, true)
-	add(Scatter, 32*kB, 1*mB, 2, true)
-	add(Scatter, 1*kB, 1*mB, 2, true)
-	add(Scatter, 32*kB+8, 1*mB+256, 2, false)
-	add(Scatter, 1*kB+8, 1*mB+8*kB, 2, false)
-	add(Scatter, 1*mB+8, 1*mB+8, 2, false)
-
-	// The chunk list shared by types 1..4; only the U columns differ.
-	rows := []chunkRow{
-		{1 * mB, 0, true},
-		{mpart, 0, true}, // u filled per type below
-		{1 * mB, 2, true},
-		{32 * kB, 1, true},
-		{1 * kB, 1, true},
-		{32*kB + 8, 1, false},
-		{1*kB + 8, 1, false},
-		{1*mB + 8, 2, false},
-	}
-	addRows := func(t PatternType, mpartU int, withFill bool) {
-		for i, r := range rows {
-			u := r.u
-			if i == 1 {
-				u = mpartU
-			}
-			add(t, r.l, r.l, u, r.wellformed)
-		}
-		if withFill {
-			add(t, FillUp, FillUp, 0, true)
-		}
-	}
-	addRows(SharedColl, 4, false)   // patterns 9-16
-	addRows(Separate, 2, false)     // patterns 17-24
-	addRows(Segmented, 2, true)     // patterns 25-33
-	addRows(SegmentedColl, 2, true) // patterns 34-42
 	return out
 }
 

@@ -1,0 +1,128 @@
+package check_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/hpcbench/beff/internal/beffio"
+	"github.com/hpcbench/beff/internal/check"
+	"github.com/hpcbench/beff/internal/core"
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/workload"
+)
+
+// The modern-machine and workload-grammar extensions get their own
+// golden cells, separate from goldenMachines: the paper-era corpus
+// stays byte-identical while the burst-buffer tier, the dragonfly
+// fabric and the three canonical custom scenarios are each pinned.
+
+// TestGoldenModernMachines pins the two post-paper machine models on
+// both benchmarks: the dragonfly fabric end to end under b_eff, and
+// the burst-buffer filesystem tier under b_eff_io (where its
+// write-absorption actually shows).
+func TestGoldenModernMachines(t *testing.T) {
+	t.Run("beff_dragonfly", func(t *testing.T) {
+		p, err := machine.Lookup("dragonfly")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := p.BuildWorld(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := check.New()
+		c.WatchWorld(&w)
+		c.WatchNet(w.Net)
+		res, err := core.Run(w, goldenBeffOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.VerifyBeff(res)
+		if err := c.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		goldenCompare(t, "beff_dragonfly.json", res)
+	})
+	t.Run("beffio_bb", func(t *testing.T) {
+		p, err := machine.Lookup("bb")
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := p.BuildIOWorld(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := p.BuildFS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := check.New()
+		c.WatchWorld(&w)
+		c.WatchNet(w.Net)
+		c.WatchFS(fs)
+		res, err := beffio.Run(w, fs, beffio.Options{T: des.DurationOf(0.5), MPart: p.MPart()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.VerifyBeffIO(res)
+		if err := c.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		goldenCompare(t, "beffio_bb.json", res)
+	})
+}
+
+// goldenWorkloads maps the checked-in example specs to the machine
+// each is pinned on: the bursty checkpoint and the Zipf-hot reread
+// exercise the burst-buffer tier, the mixed-ratio analysis runs on
+// the dragonfly system. The same three cells are reachable through
+// cmd/beffio -workload and a beffd sweep request; the HTTP variant is
+// pinned against these same files in internal/serve.
+var goldenWorkloads = []struct {
+	file, machine string
+	procs         int
+}{
+	{"bursty.json", "bb", 4},
+	{"mixed.json", "dragonfly", 4},
+	{"zipf-hot.json", "bb", 4},
+}
+
+// TestGoldenWorkloads runs each example spec under the full invariant
+// watch set and pins the result. The specs are parsed from
+// examples/workloads/ — the files the docs point at — so a drifting
+// example breaks the corpus, not just the prose.
+func TestGoldenWorkloads(t *testing.T) {
+	for _, tc := range goldenWorkloads {
+		t.Run(tc.file, func(t *testing.T) {
+			spec, err := workload.ParseFile(filepath.Join("..", "..", "examples", "workloads", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := machine.Lookup(tc.machine)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := p.BuildIOWorld(tc.procs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fs, err := p.BuildFS()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := check.New()
+			c.WatchWorld(&w)
+			c.WatchNet(w.Net)
+			c.WatchFS(fs)
+			res, err := workload.Run(w, fs, spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Finish(); err != nil {
+				t.Fatal(err)
+			}
+			goldenCompare(t, "workload_"+spec.Name+"_"+tc.machine+".json", res)
+		})
+	}
+}

@@ -20,7 +20,7 @@ func countTransfers(t *testing.T, reps int, prof *perturb.Profile, seed int64) (
 	t.Helper()
 	w := smallWorld(4)
 	var msgs int64
-	w.Net.SetOnTransfer(func(src, dst int, size int64, start, end des.Time) { msgs++ })
+	w.Net.Observe(func(src, dst int, size int64, start, end des.Time) { msgs++ })
 	prof.ApplyNet(w.Net, seed)
 	res, err := Run(w, Options{
 		MemoryPerProc: 64 << 20,

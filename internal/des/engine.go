@@ -30,10 +30,8 @@ type Engine struct {
 	// run. See horizon.go.
 	horizon Time
 
-	// onAdvance is the legacy single-subscriber slot (SetOnAdvance);
-	// advanceObs holds observers registered through OnAdvance. Both are
-	// notified on every clock advance, legacy slot first.
-	onAdvance  func(from, to Time)
+	// advanceObs holds observers registered through OnAdvance, all
+	// notified on every clock advance in registration order.
 	advanceObs []func(from, to Time)
 
 	metrics *Metrics
@@ -79,37 +77,25 @@ func (e *Engine) Now() Time { return e.clock }
 // virtual clock, with the clock value before and after. The scheduler
 // guarantees to >= from; internal/check uses this hook to assert it
 // independently. Observers compose: each OnAdvance call adds a
-// subscriber, and all of them fire in registration order (after the
-// legacy SetOnAdvance slot, if set). Hooks run inside the scheduler
-// loop and must not call back into the engine.
+// subscriber, and all of them fire in registration order. Hooks run
+// inside the scheduler loop and must not call back into the engine.
 func (e *Engine) OnAdvance(fn func(from, to Time)) {
 	if fn != nil {
 		e.advanceObs = append(e.advanceObs, fn)
 	}
 }
 
-// SetOnAdvance installs the single legacy clock observer, replacing
-// any previous SetOnAdvance value. Observers registered with OnAdvance
-// are unaffected.
-//
-// Deprecated: use OnAdvance, which lets multiple subscribers (trace,
-// check, obs) attach independently instead of overwriting each other.
-func (e *Engine) SetOnAdvance(fn func(from, to Time)) { e.onAdvance = fn }
-
-// notifyAdvance fans a clock advance out to the legacy slot and every
-// registered observer. Callers gate on needsAdvance to keep the
-// no-subscriber cost to two predictable branches.
+// notifyAdvance fans a clock advance out to every registered observer.
+// Callers gate on needsAdvance to keep the no-subscriber cost to one
+// predictable branch.
 func (e *Engine) notifyAdvance(from, to Time) {
-	if e.onAdvance != nil {
-		e.onAdvance(from, to)
-	}
 	for _, fn := range e.advanceObs {
 		fn(from, to)
 	}
 }
 
 func (e *Engine) needsAdvance() bool {
-	return e.onAdvance != nil || len(e.advanceObs) > 0
+	return len(e.advanceObs) > 0
 }
 
 // abortError is the sentinel carried by the panic that tears down

@@ -280,6 +280,8 @@ func (p *Profile) FabricFamily() string {
 		return "fat tree"
 	case *simnet.Crossbar:
 		return "crossbar"
+	case *simnet.Dragonfly:
+		return "dragonfly"
 	case *simnet.SMPCluster:
 		if p.SMPNodeSize >= p.MaxProcs {
 			return "shared-memory bus"

@@ -57,7 +57,7 @@ func TestProfilesEnumeration(t *testing.T) {
 	}
 	known := map[string]bool{
 		"3-D torus": true, "fat tree": true, "crossbar": true,
-		"SMP cluster": true, "shared-memory bus": true,
+		"SMP cluster": true, "shared-memory bus": true, "dragonfly": true,
 	}
 	for _, p := range ps {
 		if fam := p.FabricFamily(); !known[fam] {

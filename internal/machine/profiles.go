@@ -479,3 +479,106 @@ var GenericCluster = register(&Profile{
 		AllocPerBlock:      50 * des.Microsecond,
 	},
 })
+
+// DragonflyHPC is a modern Slingshot-class system: 16-processor nodes
+// on a dragonfly fabric (all-to-all groups bridged by thin global
+// links) in front of a Lustre-style filesystem with an NVMe
+// burst-buffer tier. It is not a paper machine — it is the "modern
+// balanced architecture" counterpoint the workload grammar's what-if
+// scenarios run against: global-link contention replaces torus
+// bisection, and the burst buffer moves the §5.4 cache trap up a tier.
+var DragonflyHPC = register(&Profile{
+	Key:           "dragonfly",
+	Name:          "Dragonfly HPC system (Slingshot-class)",
+	Class:         DistributedMemory,
+	MaxProcs:      1024,
+	SMPNodeSize:   16,
+	Numbering:     Sequential,
+	MemoryPerProc: 2 * gB,
+	RmaxPerProcGF: 40,
+	buildFabric: func(procs int) simnetConfig {
+		return simnetConfig{
+			fabric: simnet.NewDragonfly(simnet.DragonflyConfig{
+				Procs:           procs,
+				RoutersPerGroup: 8,
+				ProcsPerRouter:  16,
+				LocalBW:         12e9,
+				GlobalBW:        6e9,
+				LocalLat:        des.Duration(700),
+				GlobalLat:       us(2),
+			}),
+			cfg: simnet.Config{
+				TxBandwidth:      12e9,
+				RxBandwidth:      12e9,
+				SendOverhead:     des.Duration(900),
+				RecvOverhead:     des.Duration(900),
+				MemCopyBandwidth: 12e9,
+			},
+		}
+	},
+	FS: &simfs.Config{
+		Name:                 "Lustre-style fs + NVMe burst buffer",
+		Servers:              16,
+		StripeUnit:           1 * mB,
+		BlockSize:            64 * kB,
+		WriteBandwidth:       800e6,
+		ReadBandwidth:        900e6,
+		SeekTime:             2 * des.Millisecond,
+		RequestOverhead:      40 * des.Microsecond,
+		OpenCost:             1 * des.Millisecond,
+		CloseCost:            500 * des.Microsecond,
+		Clients:              1024,
+		ClientBandwidth:      2e9,
+		CacheSizePerServer:   256 * mB,
+		MemoryBandwidth:      8e9,
+		AllocPerBlock:        5 * des.Microsecond,
+		BurstBufferPerServer: 2 * gB,
+		BurstBufferBandwidth: 3e9,
+	},
+})
+
+// BurstBufferCluster is a commodity cluster whose filesystem gained an
+// NVMe burst-buffer tier — the minimal pairing for isolating what the
+// middle tier does to the b_eff_io patterns: identical to "cluster"
+// except for the added tier, so cells on the two machines differ only
+// by burst-buffer absorption.
+var BurstBufferCluster = register(&Profile{
+	Key:           "bb",
+	Name:          "Commodity cluster + NVMe burst buffer",
+	Class:         DistributedMemory,
+	MaxProcs:      64,
+	SMPNodeSize:   1,
+	MemoryPerProc: 512 * mB,
+	RmaxPerProcGF: 1.0,
+	buildFabric: func(procs int) simnetConfig {
+		return simnetConfig{
+			fabric: simnet.NewCrossbar(procs, 0, us(20)),
+			cfg: simnet.Config{
+				TxBandwidth:      100e6,
+				RxBandwidth:      100e6,
+				SendOverhead:     us(15),
+				RecvOverhead:     us(15),
+				MemCopyBandwidth: 1e9,
+			},
+		}
+	},
+	FS: &simfs.Config{
+		Name:                 "striped fs + NVMe burst buffer",
+		Servers:              4,
+		StripeUnit:           256 * kB,
+		BlockSize:            64 * kB,
+		WriteBandwidth:       50e6,
+		ReadBandwidth:        60e6,
+		SeekTime:             7 * des.Millisecond,
+		RequestOverhead:      200 * des.Microsecond,
+		OpenCost:             5 * des.Millisecond,
+		CloseCost:            3 * des.Millisecond,
+		Clients:              64,
+		ClientBandwidth:      80e6,
+		CacheSizePerServer:   16 * mB,
+		MemoryBandwidth:      1e9,
+		AllocPerBlock:        50 * des.Microsecond,
+		BurstBufferPerServer: 512 * mB,
+		BurstBufferBandwidth: 400e6,
+	},
+})

@@ -23,27 +23,9 @@
 // Any number of observers attach independently — trace, perturb,
 // check, and obs can all watch one run without knowing about each
 // other. Hooks of every observer fire in registration order.
-//
-// # Migrating from the legacy callback fields
-//
-// Before the Observer API, WorldConfig carried single-subscriber
-// callback fields (OnSend, OnMatch, OnClockAdvance); composing two
-// subscribers meant each had to capture and chain the previous
-// field value by hand. Those fields still work — they form one legacy
-// observer that fires before all registered ones — but they are
-// Deprecated: replace
-//
-//	prev := cfg.OnSend                    // old: manual chaining
-//	cfg.OnSend = func(...) { prev(...); mine(...) }
-//
-// with
-//
-//	cfg.Observe(mpi.Observer{OnSend: mine}) // new: registration
-//
-// The engine-level equivalent (des.Engine.SetOnAdvance) is likewise
-// superseded by des.Engine.OnAdvance; Observer.OnEngine hands
-// subscribers the run's engine so they can reach it even though Run
-// creates the engine internally.
+// (The pre-Observer single-subscriber callback fields are gone;
+// Observer.OnEngine hands subscribers the run's engine for
+// engine-level attachments such as des.Engine.OnAdvance.)
 package mpi
 
 import (
@@ -88,29 +70,6 @@ type WorldConfig struct {
 	// physical processor of Net.
 	Procs int
 
-	// OnSend, when non-nil, observes every point-to-point message at the
-	// moment it is submitted: world ranks of sender and receiver, payload
-	// size in bytes, and the submission time.
-	//
-	// Deprecated: this is the single legacy observer slot; it still
-	// fires (before all registered observers) but cannot compose.
-	// Register an Observer with Observe instead.
-	OnSend func(src, dst int, size int64, at des.Time)
-
-	// OnMatch observes every message at the moment it is bound to a
-	// receive (world ranks, size, current virtual time).
-	//
-	// Deprecated: legacy single-subscriber slot; see OnSend.
-	OnMatch func(src, dst int, size int64, at des.Time)
-
-	// OnClockAdvance is installed on the run's event engine and
-	// observes every advancement of the virtual clock.
-	//
-	// Deprecated: legacy single-subscriber slot; register an Observer
-	// with an OnClockAdvance hook (or use Observer.OnEngine and
-	// des.Engine.OnAdvance) instead.
-	OnClockAdvance func(from, to des.Time)
-
 	// Observers holds the composable subscribers registered with
 	// Observe.
 	Observers []Observer
@@ -123,9 +82,8 @@ type WorldConfig struct {
 
 // Observer is one composable subscriber to a World run. Any field may
 // be nil; non-nil hooks of every registered observer fire in
-// registration order, after the corresponding legacy WorldConfig slot.
-// Hooks run inside the simulation (with the engine baton held) and
-// must not block or call back into the engine.
+// registration order. Hooks run inside the simulation (with the
+// engine baton held) and must not block or call back into the engine.
 type Observer struct {
 	// OnSend observes every point-to-point message at the moment it is
 	// submitted: world ranks of sender and receiver, payload size in
@@ -219,46 +177,23 @@ type World struct {
 	freeBufs [][]byte
 
 	// onSend and onMatch are the observer hooks compiled at Run from
-	// the registered Observers (the legacy WorldConfig slots are
-	// dispatched separately so later Set-style mutation keeps
-	// working).
+	// the registered Observers.
 	onSend  []func(src, dst int, size int64, at des.Time)
 	onMatch []func(src, dst int, size int64, at des.Time)
 
 	metrics *Metrics
 }
 
-// notifySend fans a message submission out to the legacy slot and
-// every registered observer.
+// notifySend fans a message submission out to every registered
+// observer.
 func (w *World) notifySend(src, dst int, size int64, at des.Time) {
-	if w.cfg.OnSend == nil && len(w.onSend) == 0 {
-		return
-	}
-	w.fanOutSend(src, dst, size, at)
-}
-
-func (w *World) fanOutSend(src, dst int, size int64, at des.Time) {
-	if w.cfg.OnSend != nil {
-		w.cfg.OnSend(src, dst, size, at)
-	}
 	for _, fn := range w.onSend {
 		fn(src, dst, size, at)
 	}
 }
 
-// notifyMatch fans a message match out to the legacy slot and every
-// registered observer.
+// notifyMatch fans a message match out to every registered observer.
 func (w *World) notifyMatch(src, dst int, size int64, at des.Time) {
-	if w.cfg.OnMatch == nil && len(w.onMatch) == 0 {
-		return
-	}
-	w.fanOutMatch(src, dst, size, at)
-}
-
-func (w *World) fanOutMatch(src, dst int, size int64, at des.Time) {
-	if w.cfg.OnMatch != nil {
-		w.cfg.OnMatch(src, dst, size, at)
-	}
 	for _, fn := range w.onMatch {
 		fn(src, dst, size, at)
 	}
@@ -377,9 +312,6 @@ func Run(cfg WorldConfig, body func(c *Comm)) error {
 		cfg.EagerLimit = DefaultEagerLimit
 	}
 	eng := des.NewEngine()
-	if cfg.OnClockAdvance != nil {
-		eng.SetOnAdvance(cfg.OnClockAdvance)
-	}
 	w := &World{cfg: cfg, eng: eng, net: cfg.Net, size: n, nextCtx: 1, metrics: cfg.Metrics}
 	for _, o := range cfg.Observers {
 		if o.OnSend != nil {

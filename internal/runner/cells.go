@@ -9,6 +9,7 @@ import (
 	"github.com/hpcbench/beff/internal/machine"
 	"github.com/hpcbench/beff/internal/mpi"
 	"github.com/hpcbench/beff/internal/perturb"
+	"github.com/hpcbench/beff/internal/workload"
 )
 
 // Prebuilt cells for the two benchmarks, so every command (and future
@@ -35,13 +36,19 @@ type beffFingerprint struct {
 	PerturbSeed int64            `json:",omitempty"`
 }
 
-// beffioFingerprint identifies a b_eff_io cell likewise.
+// beffioFingerprint identifies a b_eff_io cell likewise. It doubles as
+// the fingerprint of custom workload-grammar cells: Workload carries
+// the canonicalized AST and is omitted when nil, so classic b_eff_io
+// fingerprints — and their cached entries — are byte-identical to the
+// pre-grammar era.
 type beffioFingerprint struct {
 	Bench   string
 	Machine string              `json:",omitempty"`
 	Config  *machine.ConfigFile `json:",omitempty"`
 	Procs   int
 	Options beffio.Options
+
+	Workload *workload.Spec `json:",omitempty"`
 
 	Perturb     *perturb.Profile `json:",omitempty"`
 	PerturbSeed int64            `json:",omitempty"`

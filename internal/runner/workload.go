@@ -1,0 +1,57 @@
+package runner
+
+import (
+	"fmt"
+
+	"github.com/hpcbench/beff/internal/machine"
+	"github.com/hpcbench/beff/internal/perturb"
+	"github.com/hpcbench/beff/internal/workload"
+)
+
+// WorkloadCell runs a custom workload-grammar spec on a registered
+// machine profile at one partition size. The canonicalized spec is the
+// dominant part of the fingerprint — two requests with byte-different
+// JSON but the same canonical AST share a cache entry, and any change
+// to the pattern tree is a miss.
+func WorkloadCell(spec *workload.Spec, machineKey string, procs int) Cell[*workload.Result] {
+	return RobustWorkloadCell(spec, machineKey, procs, nil, 0, 0)
+}
+
+// RobustWorkloadCell is WorkloadCell with perturbation, mirroring
+// RobustBeffIOCell: repetition rep under the profile, seeded with
+// RepSeed(seed, rep), applied to both the network and the filesystem.
+// A nil (or disabled) profile degenerates to an unperturbed cell with
+// an unperturbed fingerprint.
+func RobustWorkloadCell(spec *workload.Spec, machineKey string, procs int, prof *perturb.Profile, seed int64, rep int) Cell[*workload.Result] {
+	if prof != nil && !prof.Enabled() {
+		prof = nil
+	}
+	repSeed := perturb.RepSeed(seed, rep)
+	fp := beffioFingerprint{Bench: "workload", Machine: machineKey, Procs: procs, Workload: spec}
+	key := fmt.Sprintf("workload:%s:%s@%d", spec.Name, machineKey, procs)
+	if prof != nil {
+		fp.Perturb = prof
+		fp.PerturbSeed = repSeed
+		key = fmt.Sprintf("%s/rep%d", key, rep)
+	}
+	return Cell[*workload.Result]{
+		Key:         key,
+		Fingerprint: fp,
+		Run: func() (*workload.Result, error) {
+			p, err := machine.Lookup(machineKey)
+			if err != nil {
+				return nil, err
+			}
+			w, err := p.BuildIOWorld(procs)
+			if err != nil {
+				return nil, err
+			}
+			fs, err := p.BuildFS()
+			if err != nil {
+				return nil, err
+			}
+			prof.Apply(w.Net, fs, repSeed)
+			return workload.Run(w, fs, spec)
+		},
+	}
+}

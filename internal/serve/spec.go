@@ -11,6 +11,7 @@ import (
 	"github.com/hpcbench/beff/internal/obs"
 	"github.com/hpcbench/beff/internal/perturb"
 	"github.com/hpcbench/beff/internal/runner"
+	"github.com/hpcbench/beff/internal/workload"
 )
 
 // SweepRequest is the body of POST /api/v1/sweeps: the axes of a
@@ -29,9 +30,16 @@ type SweepRequest struct {
 	// b_eff only.
 	Fleet bool `json:"fleet,omitempty"`
 
-	// Bench selects the benchmark: "beff" or "beffio" (fleet requests
-	// default it to "beff").
+	// Bench selects the benchmark: "beff", "beffio" or "workload"
+	// (fleet requests default it to "beff").
 	Bench string `json:"bench"`
+
+	// Workload is the pattern-AST spec of a bench "workload" request
+	// (see docs/API.md for the grammar). It is canonicalized before
+	// fingerprinting, so byte-different encodings of the same AST
+	// share one cache entry and dedupe in flight. Required when Bench
+	// is "workload", rejected otherwise.
+	Workload *workload.Spec `json:"workload,omitempty"`
 
 	// Machines are registry profile keys (see cmd/beff -list). The
 	// HTTP API deliberately accepts only registered profiles — ad-hoc
@@ -93,6 +101,9 @@ func (r *SweepRequest) normalize() {
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
+	if r.Workload != nil {
+		r.Workload.Normalize()
+	}
 	if r.MaxLooplength == 0 {
 		r.MaxLooplength = 8
 	}
@@ -118,8 +129,8 @@ func (r *SweepRequest) validate() error {
 			return fmt.Errorf("reps must be >= 0, got %d", r.Reps)
 		}
 	} else {
-		if r.Bench != "beff" && r.Bench != "beffio" {
-			return fmt.Errorf("bench must be %q or %q, got %q", "beff", "beffio", r.Bench)
+		if r.Bench != "beff" && r.Bench != "beffio" && r.Bench != "workload" {
+			return fmt.Errorf("bench must be %q, %q or %q, got %q", "beff", "beffio", "workload", r.Bench)
 		}
 		if len(r.Machines) == 0 {
 			return fmt.Errorf("machines must name at least one profile")
@@ -162,6 +173,21 @@ func (r *SweepRequest) validate() error {
 	if r.Perturb != "" {
 		if _, err := perturb.Preset(r.Perturb); err != nil {
 			return fmt.Errorf("unknown perturb preset %q (have: %s)", r.Perturb, strings.Join(perturb.Presets(), ", "))
+		}
+	}
+	switch {
+	case r.Bench == "workload" && r.Workload == nil:
+		return fmt.Errorf("bench %q needs a workload spec", "workload")
+	case r.Bench != "workload" && r.Workload != nil:
+		return fmt.Errorf("workload specs apply to bench %q only, got bench %q", "workload", r.Bench)
+	case r.Workload != nil:
+		if err := r.Workload.Validate(); err != nil {
+			return err
+		}
+		// Fill-up chunks are table notation; the executor would reject
+		// them per cell, but admission is the right place to say so.
+		if err := r.Workload.Runnable(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -226,6 +252,13 @@ func (r *SweepRequest) tasks(cache *runner.Cache, reg *obs.Registry) ([]runner.T
 				case "beffio":
 					opt := beffio.Options{T: des.DurationOf(r.TSeconds)}
 					cell := runner.RobustBeffIOCell(key, procs, opt, prof, r.Seed, rep)
+					tasks = append(tasks, runner.JSONTask(cell, cache))
+				case "workload":
+					// Shards is accepted but not an input here: the I/O
+					// executor is sequential, and the knob never enters the
+					// fingerprint, so requests at any shard count share
+					// cache entries.
+					cell := runner.RobustWorkloadCell(r.Workload, key, procs, prof, r.Seed, rep)
 					tasks = append(tasks, runner.JSONTask(cell, cache))
 				default:
 					return nil, fmt.Errorf("bench %q", r.Bench)

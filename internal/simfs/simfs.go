@@ -87,20 +87,27 @@ type Config struct {
 	// MemoryBandwidth is the cache-hit bandwidth per server.
 	MemoryBandwidth float64
 
+	// BurstBufferPerServer adds a modern NVMe burst-buffer tier between
+	// the DRAM cache and the disk: its capacity per server in bytes.
+	// Writes that overflow the DRAM cache are absorbed at
+	// BurstBufferBandwidth until the drain backlog also exceeds the
+	// burst buffer; only then is the client throttled to the disk drain
+	// rate. Reads of data recently evicted from DRAM but still within
+	// the burst-buffer window are served at BurstBufferBandwidth. Zero
+	// (the default) disables the tier and reproduces the paper-era
+	// two-level model exactly.
+	BurstBufferPerServer int64
+
+	// BurstBufferBandwidth is the burst-buffer tier's per-server
+	// absorb/serve bandwidth in bytes/second; required (and only
+	// meaningful) when BurstBufferPerServer is set. Typically between
+	// MemoryBandwidth and the disk bandwidths.
+	BurstBufferBandwidth float64
+
 	// AllocPerBlock is the extra metadata cost charged per newly
 	// allocated block — the reason an initial write is slower than a
 	// rewrite.
 	AllocPerBlock des.Duration
-
-	// OnServerOp, when non-nil, observes every disk operation: server,
-	// direction, bytes, and busy interval. internal/trace provides a
-	// collector for it. Cache-absorbed traffic reports the queued disk
-	// work, not the memory-speed completion.
-	//
-	// Deprecated: this is the single legacy observer slot. Register
-	// additional observers with FS.ObserveServerOps, which composes
-	// instead of overwriting.
-	OnServerOp func(server int, write bool, bytes int64, start, end des.Time)
 
 	// BackgroundLoad models a non-dedicated system: the fraction of
 	// every server's bandwidth consumed by concurrently running other
@@ -133,7 +140,22 @@ func (c *Config) validate() error {
 			return fmt.Errorf("simfs: background load %v outside [0,1)", c.BackgroundLoad)
 		}
 	}
+	if c.BurstBufferPerServer < 0 {
+		return fmt.Errorf("simfs: negative burst buffer size")
+	}
+	if c.BurstBufferPerServer > 0 && c.BurstBufferBandwidth <= 0 {
+		return fmt.Errorf("simfs: burst buffer needs a positive bandwidth")
+	}
+	if c.BurstBufferPerServer == 0 && c.BurstBufferBandwidth != 0 {
+		return fmt.Errorf("simfs: burst buffer bandwidth set without a capacity")
+	}
 	return nil
+}
+
+// TotalBurstBuffer reports the aggregate burst-buffer capacity of all
+// servers.
+func (c *Config) TotalBurstBuffer() int64 {
+	return int64(c.Servers) * c.BurstBufferPerServer
 }
 
 // TotalCache reports the aggregate cache of all servers.
@@ -154,16 +176,14 @@ type FS struct {
 	totalRead    int64
 	writeClock   int64 // total bytes ever written, for cache eviction
 
-	// serverStall is the legacy single-slot I/O-hiccup hook
-	// (SetServerPerturb); serverStalls holds hooks added with
-	// AddServerPerturb. Each reports extra service time a server
-	// spends unavailable around a disk operation starting at the given
-	// time; durations from every hook sum.
-	serverStall  func(server int, at des.Time) des.Duration
+	// serverStalls holds I/O-hiccup hooks added with AddServerPerturb.
+	// Each reports extra service time a server spends unavailable
+	// around a disk operation starting at the given time; durations
+	// from every hook sum.
 	serverStalls []func(server int, at des.Time) des.Duration
 
-	// serverOpObs holds observers registered with ObserveServerOps;
-	// they fire after the legacy Config.OnServerOp slot.
+	// serverOpObs holds observers registered with ObserveServerOps,
+	// fired in registration order.
 	serverOpObs []func(server int, write bool, bytes int64, start, end des.Time)
 
 	metrics *Metrics
@@ -184,6 +204,12 @@ type Metrics struct {
 	// CacheHits counts reads served from the write-behind cache at
 	// memory speed.
 	CacheHits *obs.Counter
+
+	// BurstAbsorbs counts writes absorbed by the burst-buffer tier
+	// after overflowing the DRAM cache; BurstHits counts reads served
+	// from it. Both stay zero without a configured burst buffer.
+	BurstAbsorbs *obs.Counter
+	BurstHits    *obs.Counter
 }
 
 // SetMetrics attaches filesystem instruments; nil detaches them.
@@ -222,6 +248,7 @@ func New(cfg Config) (*FS, error) {
 		cfg.WriteBandwidth *= share
 		cfg.ReadBandwidth *= share
 		cfg.MemoryBandwidth *= share
+		cfg.BurstBufferBandwidth *= share
 	}
 	fs := &FS{cfg: cfg, files: make(map[string]*File)}
 	for i := 0; i < cfg.Servers; i++ {
@@ -245,62 +272,30 @@ func MustNew(cfg Config) *FS {
 // Config returns the filesystem configuration.
 func (fs *FS) Config() Config { return fs.cfg }
 
-// SetOnServerOp installs (or replaces) the legacy single
-// disk-operation observer after construction. Observers registered
-// with ObserveServerOps are unaffected.
-//
-// Deprecated: use ObserveServerOps, which lets multiple subscribers
-// (trace, check, obs) attach independently instead of overwriting
-// each other.
-func (fs *FS) SetOnServerOp(f func(server int, write bool, bytes int64, start, end des.Time)) {
-	fs.cfg.OnServerOp = f
-}
-
-// ObserveServerOps registers an additional disk-operation observer:
-// server, direction, bytes, and busy interval. Observers compose —
-// each call adds a subscriber, and all fire per operation in
-// registration order (after the legacy Config.OnServerOp slot, if
-// set). Must be called before the simulation starts.
+// ObserveServerOps registers a disk-operation observer: server,
+// direction, bytes, and busy interval. Cache-absorbed traffic reports
+// the queued disk work, not the memory-speed completion;
+// internal/trace provides a collector. Observers compose — each call
+// adds a subscriber, and all fire per operation in registration
+// order. Must be called before the simulation starts.
 func (fs *FS) ObserveServerOps(f func(server int, write bool, bytes int64, start, end des.Time)) {
 	if f != nil {
 		fs.serverOpObs = append(fs.serverOpObs, f)
 	}
 }
 
-// notifyServerOp fans a disk operation out to the legacy slot and
-// every ObserveServerOps subscriber.
+// notifyServerOp fans a disk operation out to every ObserveServerOps
+// subscriber.
 func (fs *FS) notifyServerOp(server int, write bool, bytes int64, start, end des.Time) {
-	if fs.cfg.OnServerOp == nil && len(fs.serverOpObs) == 0 {
-		return
-	}
-	fs.fanOutServerOp(server, write, bytes, start, end)
-}
-
-func (fs *FS) fanOutServerOp(server int, write bool, bytes int64, start, end des.Time) {
-	if fs.cfg.OnServerOp != nil {
-		fs.cfg.OnServerOp(server, write, bytes, start, end)
-	}
 	for _, fn := range fs.serverOpObs {
 		fn(server, write, bytes, start, end)
 	}
 }
 
-// SetServerPerturb installs (or removes, with nil) the legacy
-// single-slot per-server hiccup hook, replacing any previous
-// SetServerPerturb value. Hooks added with AddServerPerturb are
-// unaffected. Must be called before the simulation starts.
-//
-// Deprecated: use AddServerPerturb, which composes multiple
-// perturbation sources instead of overwriting.
-func (fs *FS) SetServerPerturb(fn func(server int, at des.Time) des.Duration) {
-	fs.serverStall = fn
-}
-
-// AddServerPerturb registers an additional per-server hiccup hook: fn
-// reports how much extra service time the server spends on a disk
-// operation starting at the given time. Durations from every
-// registered hook (and the legacy slot) sum. Must be called before
-// the simulation starts.
+// AddServerPerturb registers a per-server hiccup hook: fn reports how
+// much extra service time the server spends on a disk operation
+// starting at the given time. Durations from every registered hook
+// sum. Must be called before the simulation starts.
 func (fs *FS) AddServerPerturb(fn func(server int, at des.Time) des.Duration) {
 	if fn != nil {
 		fs.serverStalls = append(fs.serverStalls, fn)
@@ -310,7 +305,7 @@ func (fs *FS) AddServerPerturb(fn func(server int, at des.Time) des.Duration) {
 // stallFor sums every registered hiccup hook for an operation on
 // server id starting at the given time.
 func (fs *FS) stallFor(id int, at des.Time) des.Duration {
-	if fs.serverStall == nil && len(fs.serverStalls) == 0 {
+	if len(fs.serverStalls) == 0 {
 		return 0
 	}
 	return fs.stallSum(id, at)
@@ -318,9 +313,6 @@ func (fs *FS) stallFor(id int, at des.Time) des.Duration {
 
 func (fs *FS) stallSum(id int, at des.Time) des.Duration {
 	var d des.Duration
-	if fs.serverStall != nil {
-		d = fs.serverStall(id, at)
-	}
 	for _, fn := range fs.serverStalls {
 		d += fn(id, at)
 	}
@@ -470,6 +462,24 @@ func (fs *FS) memCost(size int64) des.Duration {
 		return 0
 	}
 	return des.DurationOf(float64(size) / fs.cfg.MemoryBandwidth)
+}
+
+// burstCapacityTime is the burst-buffer capacity expressed as disk
+// drain time, the unit the write-behind backlog is measured in. Zero
+// without a configured burst buffer.
+func (fs *FS) burstCapacityTime() des.Duration {
+	if fs.cfg.WriteBandwidth <= 0 || fs.cfg.BurstBufferPerServer <= 0 {
+		return 0
+	}
+	return des.DurationOf(float64(fs.cfg.BurstBufferPerServer) / fs.cfg.WriteBandwidth)
+}
+
+// burstCost is the burst-buffer transfer time for size bytes.
+func (fs *FS) burstCost(size int64) des.Duration {
+	if fs.cfg.BurstBufferBandwidth <= 0 {
+		return 0
+	}
+	return des.DurationOf(float64(size) / fs.cfg.BurstBufferBandwidth)
 }
 
 // clientChannelDelay reserves the client's I/O channel for size bytes.
@@ -629,12 +639,23 @@ func (fs *FS) serverWrite(f *File, pc piece, arrival des.Time) des.Time {
 	fs.notifyServerOp(s.id, true, pc.size, diskStart, s.diskFree)
 
 	// Write-behind: accepted at memory speed while the backlog fits in
-	// the cache; once the backlog exceeds the cache, the client is
-	// throttled to the drain rate.
+	// the cache; once the backlog exceeds the cache, the burst buffer
+	// (when configured) absorbs the overflow at its own bandwidth;
+	// only when that is full too is the client throttled to the drain
+	// rate.
 	backlog := s.diskFree.Sub(arrival)
 	capT := fs.capacityTime()
 	if backlog <= capT {
 		return arrival.Add(fs.memCost(pc.size))
+	}
+	if bbT := fs.burstCapacityTime(); bbT > 0 {
+		if backlog <= capT+bbT {
+			if m := fs.metrics; m != nil {
+				m.BurstAbsorbs.Inc()
+			}
+			return arrival.Add(fs.burstCost(pc.size))
+		}
+		return s.diskFree.Add(-capT - bbT)
 	}
 	return s.diskFree.Add(-capT)
 }
@@ -649,6 +670,14 @@ func (fs *FS) serverRead(f *File, pc piece, arrival des.Time) des.Time {
 			m.CacheHits.Inc()
 		}
 		return arrival.Add(fs.memCost(pc.size))
+	}
+	// Burst-buffer hit: evicted from DRAM but still within the (larger)
+	// burst-buffer window — served at the tier's bandwidth.
+	if fs.inBurstBuffer(f, pc.off, pc.size) {
+		if m := fs.metrics; m != nil {
+			m.BurstHits.Inc()
+		}
+		return arrival.Add(fs.burstCost(pc.size))
 	}
 	local := fs.serverLocal(pc.off)
 	var seek des.Duration
@@ -686,14 +715,30 @@ func (fs *FS) serverRead(f *File, pc piece, arrival des.Time) des.Time {
 // write-behind cache: it was among the file's most recent writes and no
 // more than the total cache size has been written filesystem-wide since.
 func (fs *FS) inCache(f *File, off, size int64) bool {
-	total := fs.cfg.TotalCache()
-	if total <= 0 || f.cacheLo < 0 {
+	return fs.inWindow(f, off, size, fs.cfg.TotalCache())
+}
+
+// inBurstBuffer reports whether the range missed the DRAM cache but
+// still sits within the combined cache + burst-buffer retention window.
+func (fs *FS) inBurstBuffer(f *File, off, size int64) bool {
+	bb := fs.cfg.TotalBurstBuffer()
+	if bb <= 0 {
 		return false
 	}
-	if fs.writeClock-f.cacheStamp > total {
+	return fs.inWindow(f, off, size, fs.cfg.TotalCache()+bb)
+}
+
+// inWindow is the retention test shared by the cache tiers: the range
+// was among the file's most recent writes and no more than window
+// bytes have been written filesystem-wide since.
+func (fs *FS) inWindow(f *File, off, size, window int64) bool {
+	if window <= 0 || f.cacheLo < 0 {
+		return false
+	}
+	if fs.writeClock-f.cacheStamp > window {
 		return false // evicted by later traffic
 	}
-	lo := f.size - total
+	lo := f.size - window
 	if lo < f.cacheLo {
 		lo = f.cacheLo
 	}

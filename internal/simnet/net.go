@@ -49,14 +49,6 @@ type Config struct {
 	// the layers above. Zero means copies are free.
 	MemCopyBandwidth float64
 
-	// OnTransfer, when non-nil, observes every transfer: source and
-	// destination processors, payload size, injection start and
-	// arrival. internal/trace provides a collector for it.
-	//
-	// Deprecated: this is the single legacy observer slot. Register
-	// additional observers with Net.Observe, which composes instead of
-	// overwriting.
-	OnTransfer func(src, dst int, size int64, start, end des.Time)
 }
 
 // maxPathCacheProcs bounds the processor count up to which per-pair
@@ -95,17 +87,14 @@ type Net struct {
 	messages   int64
 
 	// transferObs holds observers registered with Observe; they fire
-	// after the legacy Config.OnTransfer slot, in registration order.
+	// in registration order.
 	transferObs []func(src, dst int, size int64, start, end des.Time)
 
-	// stall and slowdown are the legacy per-processor perturbation
-	// slots (SetProcPerturb); stalls and slowdowns hold hooks added
-	// with AddProcPerturb. Stall durations sum; slowdown factors
-	// multiply. stall reports how long a processor's CPU is
-	// unavailable at a given time (OS-noise detours), slowdown a >= 1
-	// multiplier on its software overheads (straggler nodes).
-	stall     func(proc int, at des.Time) des.Duration
-	slowdown  func(proc int) float64
+	// stalls and slowdowns hold hooks added with AddProcPerturb.
+	// Stall durations sum; slowdown factors multiply. A stall reports
+	// how long a processor's CPU is unavailable at a given time
+	// (OS-noise detours), a slowdown a >= 1 multiplier on its software
+	// overheads (straggler nodes).
 	stalls    []func(proc int, at des.Time) des.Duration
 	slowdowns []func(proc int) float64
 
@@ -164,23 +153,10 @@ func New(cfg Config) *Net {
 // NumProcs reports the number of physical processors.
 func (n *Net) NumProcs() int { return n.cfg.Fabric.NumProcs() }
 
-// SetProcPerturb installs the legacy per-processor perturbation slots,
-// replacing any previous SetProcPerturb values; either may be nil.
-// Hooks added with AddProcPerturb are unaffected. Must be called
-// before the simulation starts.
-//
-// Deprecated: use AddProcPerturb, which composes multiple perturbation
-// sources instead of overwriting.
-func (n *Net) SetProcPerturb(stall func(proc int, at des.Time) des.Duration, slowdown func(proc int) float64) {
-	n.stall = stall
-	n.slowdown = slowdown
-}
-
-// AddProcPerturb registers additional per-processor perturbation
-// hooks; either may be nil. Hooks compose deterministically: stall
-// durations from every registered hook (and the legacy slot) add up,
-// slowdown factors multiply. Must be called before the simulation
-// starts.
+// AddProcPerturb registers per-processor perturbation hooks; either
+// may be nil. Hooks compose deterministically: stall durations from
+// every registered hook add up, slowdown factors multiply. Must be
+// called before the simulation starts.
 func (n *Net) AddProcPerturb(stall func(proc int, at des.Time) des.Duration, slowdown func(proc int) float64) {
 	if stall != nil {
 		n.stalls = append(n.stalls, stall)
@@ -195,7 +171,7 @@ func (n *Net) AddProcPerturb(stall func(proc int, at des.Time) des.Duration, slo
 // common unperturbed case inlinable at the Transfer call sites (the
 // summing loop below would defeat inlining).
 func (n *Net) stallAt(proc int, at des.Time) des.Duration {
-	if n.stall == nil && len(n.stalls) == 0 {
+	if len(n.stalls) == 0 {
 		return 0
 	}
 	return n.stallSum(proc, at)
@@ -203,9 +179,6 @@ func (n *Net) stallAt(proc int, at des.Time) des.Duration {
 
 func (n *Net) stallSum(proc int, at des.Time) des.Duration {
 	var d des.Duration
-	if n.stall != nil {
-		d = n.stall(proc, at)
-	}
 	for _, fn := range n.stalls {
 		d += fn(proc, at)
 	}
@@ -216,7 +189,7 @@ func (n *Net) stallSum(proc int, at des.Time) des.Duration {
 // software overhead; factors > 1 from every registered hook multiply.
 // Split like stallAt so the no-slowdown case inlines.
 func (n *Net) scaleOverhead(d des.Duration, proc int) des.Duration {
-	if d <= 0 || (n.slowdown == nil && len(n.slowdowns) == 0) {
+	if d <= 0 || len(n.slowdowns) == 0 {
 		return d
 	}
 	return n.scaleOverheadSlow(d, proc)
@@ -224,11 +197,6 @@ func (n *Net) scaleOverhead(d des.Duration, proc int) des.Duration {
 
 func (n *Net) scaleOverheadSlow(d des.Duration, proc int) des.Duration {
 	f := 1.0
-	if n.slowdown != nil {
-		if s := n.slowdown(proc); s > 1 {
-			f *= s
-		}
-	}
 	for _, fn := range n.slowdowns {
 		if s := fn(proc); s > 1 {
 			f *= s
@@ -299,20 +267,17 @@ func (n *Net) Transfer(src, dst int, size int64, earliest des.Time) (senderFree,
 	return senderFree, arrival
 }
 
-// notifyTransfer fans a transfer observation out to the legacy
-// Config.OnTransfer slot and every Observe subscriber. The unobserved
-// case must stay inlinable — it runs once per booked message.
+// notifyTransfer fans a transfer observation out to every Observe
+// subscriber. The unobserved case must stay inlinable — it runs once
+// per booked message.
 func (n *Net) notifyTransfer(src, dst int, size int64, start, end des.Time) {
-	if n.cfg.OnTransfer == nil && len(n.transferObs) == 0 {
+	if len(n.transferObs) == 0 {
 		return
 	}
 	n.fanOutTransfer(src, dst, size, start, end)
 }
 
 func (n *Net) fanOutTransfer(src, dst int, size int64, start, end des.Time) {
-	if n.cfg.OnTransfer != nil {
-		n.cfg.OnTransfer(src, dst, size, start, end)
-	}
 	for _, fn := range n.transferObs {
 		fn(src, dst, size, start, end)
 	}
@@ -402,21 +367,10 @@ func (n *Net) Messages() int64 { return n.messages }
 // Config returns the configuration the Net was built with.
 func (n *Net) Config() Config { return n.cfg }
 
-// SetOnTransfer installs (or replaces) the legacy single transfer
-// observer after construction. Observers registered with Observe are
-// unaffected.
-//
-// Deprecated: use Observe, which lets multiple subscribers (trace,
-// check, obs) attach independently instead of overwriting each other.
-func (n *Net) SetOnTransfer(f func(src, dst int, size int64, start, end des.Time)) {
-	n.cfg.OnTransfer = f
-}
-
-// Observe registers an additional transfer observer: source and
-// destination processors, payload size, injection start and arrival.
-// Observers compose — each call adds a subscriber, and all fire per
-// transfer in registration order (after the legacy Config.OnTransfer
-// slot, if set). Must be called before the simulation starts.
+// Observe registers a transfer observer: source and destination
+// processors, payload size, injection start and arrival. Observers
+// compose — each call adds a subscriber, and all fire per transfer in
+// registration order. Must be called before the simulation starts.
 func (n *Net) Observe(f func(src, dst int, size int64, start, end des.Time)) {
 	if f != nil {
 		n.transferObs = append(n.transferObs, f)

@@ -72,7 +72,7 @@ func TestNetProcPerturbHooks(t *testing.T) {
 	_, cleanArr := clean.Transfer(0, 1, 1024, 0)
 
 	stalled := build()
-	stalled.SetProcPerturb(func(proc int, at des.Time) des.Duration {
+	stalled.AddProcPerturb(func(proc int, at des.Time) des.Duration {
 		if proc == 0 && at < des.Time(des.Millisecond) {
 			return des.Millisecond
 		}
@@ -84,7 +84,7 @@ func TestNetProcPerturbHooks(t *testing.T) {
 	}
 
 	slow := build()
-	slow.SetProcPerturb(nil, func(proc int) float64 {
+	slow.AddProcPerturb(nil, func(proc int) float64 {
 		if proc == 0 {
 			return 3
 		}
@@ -102,7 +102,7 @@ func TestNetProcPerturbHooks(t *testing.T) {
 	}
 
 	noop := build()
-	noop.SetProcPerturb(nil, nil)
+	noop.AddProcPerturb(nil, nil)
 	if _, arr := noop.Transfer(0, 1, 1024, 0); arr != cleanArr {
 		t.Errorf("nil hooks must be a no-op: %v vs %v", arr, cleanArr)
 	}

@@ -9,7 +9,7 @@ import (
 )
 
 // A Collector plugs into the simulation through two plain hooks:
-// simnet.Config.OnTransfer for messages and simfs.Config.OnServerOp for
+// simnet.Net.Observe for messages and simfs.FS.ObserveServerOps for
 // disk operations. Here the hooks are invoked directly with a tiny
 // hand-made schedule; in a real run the network and filesystem call
 // them (see examples/tracing and cmd/beff -trace).

@@ -2,8 +2,8 @@
 // and renders them as summaries or as Chrome trace-event JSON
 // (chrome://tracing, Perfetto). The network and filesystem models
 // expose plain function hooks so this package stays optional and
-// dependency-free; see simnet.Config.OnTransfer and
-// simfs.Config.OnServerOp.
+// dependency-free; register with simnet.Net.Observe and
+// simfs.FS.ObserveServerOps.
 package trace
 
 import (
@@ -52,12 +52,12 @@ type Collector struct {
 // New returns an empty collector.
 func New() *Collector { return &Collector{} }
 
-// OnTransfer is the hook for simnet.Config.OnTransfer.
+// OnTransfer is the hook for simnet.Net.Observe.
 func (c *Collector) OnTransfer(src, dst int, size int64, start, end des.Time) {
 	c.Messages = append(c.Messages, MessageEvent{Src: src, Dst: dst, Size: size, Start: start, End: end})
 }
 
-// OnServerOp is the hook for simfs.Config.OnServerOp.
+// OnServerOp is the hook for simfs.FS.ObserveServerOps.
 func (c *Collector) OnServerOp(server int, write bool, bytes int64, start, end des.Time) {
 	c.IOs = append(c.IOs, IOEvent{Server: server, Write: write, Bytes: bytes, Start: start, End: end})
 }

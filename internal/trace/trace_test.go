@@ -29,15 +29,15 @@ func doRun() (*Collector, error) {
 		RxBandwidth:  100e6,
 		SendOverhead: 2 * des.Microsecond,
 		RecvOverhead: 2 * des.Microsecond,
-		OnTransfer:   col.OnTransfer,
 	})
+	net.Observe(col.OnTransfer)
 	fs := simfs.MustNew(simfs.Config{
 		Name: "fs", Servers: 2, StripeUnit: 64 << 10, BlockSize: 4 << 10,
 		WriteBandwidth: 100e6, ReadBandwidth: 100e6,
 		RequestOverhead: 10 * des.Microsecond,
 		Clients:         4, MemoryBandwidth: 1e9,
-		OnServerOp: col.OnServerOp,
 	})
+	fs.ObserveServerOps(col.OnServerOp)
 	err := mpi.Run(mpi.WorldConfig{Net: net}, func(c *mpi.Comm) {
 		n := c.Size()
 		r, l := (c.Rank()+1)%n, (c.Rank()-1+n)%n

@@ -1,0 +1,43 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Parse decodes a JSON workload spec, applies defaults, and validates
+// it. Decoding is strict: unknown fields are errors, so a typoed knob
+// cannot silently fall back to a default. The returned spec is in
+// canonical (normalized) form, ready for execution and fingerprinting.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	// Trailing garbage after the spec object is an error too.
+	if dec.More() {
+		return nil, fmt.Errorf("workload: trailing data after spec")
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseFile is Parse over a file's contents.
+func ParseFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

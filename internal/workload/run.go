@@ -1,0 +1,530 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/hpcbench/beff/internal/des"
+	"github.com/hpcbench/beff/internal/mpi"
+	"github.com/hpcbench/beff/internal/mpiio"
+	"github.com/hpcbench/beff/internal/simfs"
+)
+
+// The streaming executor: compiles a validated spec down to
+// internal/mpiio calls against an internal/simfs filesystem, phase by
+// phase. Execution is count-driven and lockstep — every rank walks the
+// same tree with the same shared RNG — so collective call sequences
+// never diverge and results are byte-deterministic.
+//
+// Region allocation: write leaves claim fresh regions of the target
+// file from a monotone cursor (identical on every rank); pure read
+// leaves wrap over the file's written extent instead, so a read phase
+// re-reads what a write phase left behind — including its cache
+// residency, the §5.4 effect the zipf-hot scenarios lean on. Reads of
+// never-written regions are allowed (they cost full disk time).
+
+// PhaseResult is one phase's measurement.
+type PhaseResult struct {
+	Name string
+	// Ops counts leaf operations across all ranks.
+	Ops int64
+	// WriteBytes and ReadBytes are the payload totals across ranks.
+	WriteBytes int64
+	ReadBytes  int64
+	Bytes      int64
+	// Seconds is the phase's elapsed virtual time, max across ranks
+	// (barrier to barrier, including the closing sync).
+	Seconds float64
+	// BW is Bytes/Seconds.
+	BW float64
+}
+
+// Result is the full outcome of one workload run on one partition.
+type Result struct {
+	Name       string
+	Procs      int
+	Seed       int64
+	Phases     []PhaseResult
+	TotalBytes int64
+	// Seconds is the sum of the phase times; BW the overall rate.
+	Seconds float64
+	BW      float64
+	// Spec echoes the executed workload, in canonical form.
+	Spec *Spec
+}
+
+// Run executes the spec on one partition: an MPI world built from w
+// against the filesystem fs. The spec must be normalized and valid
+// (Parse output is; hand-built specs should call Normalize and
+// Validate). The Result is rank 0's copy; all ranks compute identical
+// aggregates.
+func Run(w mpi.WorldConfig, fs *simfs.FS, spec *Spec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := spec.Runnable(); err != nil {
+		return nil, err
+	}
+	var res *Result
+	err := mpi.Run(w, func(c *mpi.Comm) {
+		r := runBody(c, fs, spec)
+		if c.Rank() == 0 {
+			res = r
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Runnable reports whether the streaming executor can run the spec.
+// A valid spec may still be table-only (fill-up chunks); callers that
+// admit specs for execution — the HTTP API, the CLI — should reject
+// such specs up front rather than at run time.
+func (s *Spec) Runnable() error {
+	for _, ph := range s.Phases {
+		if err := checkRunnable(ph.Pattern); err != nil {
+			return fmt.Errorf("workload: phase %q: %w", ph.Name, err)
+		}
+	}
+	return nil
+}
+
+// checkRunnable rejects the table-only constructs the streaming
+// executor has no semantics for.
+func checkRunnable(n *Node) error {
+	if n == nil {
+		return nil
+	}
+	if n.Chunk == FillUp {
+		return fmt.Errorf("fill-up chunks are only meaningful in table-style specs (see TableRows)")
+	}
+	for _, c := range n.Nodes {
+		if err := checkRunnable(c); err != nil {
+			return err
+		}
+	}
+	return checkRunnable(n.Body)
+}
+
+// execState is the per-rank walk state; every field that influences
+// control flow is identical across ranks by construction.
+type execState struct {
+	c    *mpi.Comm
+	self *mpi.Comm
+	fs   *simfs.FS
+	spec *Spec
+
+	// rng is the shared stream: identical seed and draw sequence on
+	// every rank, so mix flips and zipf draws agree everywhere.
+	rng *rand.Rand
+
+	// handles caches open files by name; sel is the zipf file-suffix
+	// stack; mix is the read-fraction stack.
+	handles map[string]*mpiio.File
+	sel     []string
+	mix     []float64
+
+	// cursor is the next free offset per logical file; written is the
+	// written high-water mark (both rank-invariant).
+	cursor  map[string]int64
+	written map[string]int64
+
+	// sharedNames are communal files this run created (same on every
+	// rank); sepNames are this rank's own separated files.
+	sharedNames map[string]bool
+	sepNames    map[string]bool
+
+	// per-phase counters, this rank's share.
+	ops        int64
+	readBytes  int64
+	writeBytes int64
+}
+
+func runBody(c *mpi.Comm, fs *simfs.FS, spec *Spec) *Result {
+	ec := &execState{
+		c:           c,
+		self:        c.Split(c.Rank(), 0),
+		fs:          fs,
+		spec:        spec,
+		rng:         rand.New(rand.NewSource(spec.Seed)),
+		handles:     map[string]*mpiio.File{},
+		cursor:      map[string]int64{},
+		written:     map[string]int64{},
+		sharedNames: map[string]bool{},
+		sepNames:    map[string]bool{},
+	}
+	res := &Result{
+		Name:  spec.Name,
+		Procs: c.Size(),
+		Seed:  spec.Seed,
+		Spec:  spec,
+	}
+	for _, ph := range spec.Phases {
+		ec.ops, ec.readBytes, ec.writeBytes = 0, 0, 0
+		c.Barrier()
+		t0 := c.Wtime()
+		ec.exec(ph.Pattern)
+		ec.syncAll()
+		el := c.Wtime() - t0
+
+		pr := PhaseResult{Name: ph.Name}
+		sums := c.AllreduceInt64(mpi.OpSum, []int64{ec.ops, ec.readBytes, ec.writeBytes})
+		pr.Ops, pr.ReadBytes, pr.WriteBytes = sums[0], sums[1], sums[2]
+		pr.Bytes = pr.ReadBytes + pr.WriteBytes
+		pr.Seconds = c.AllreduceFloat64(mpi.OpMax, []float64{el})[0]
+		if pr.Seconds > 0 {
+			pr.BW = float64(pr.Bytes) / pr.Seconds
+		}
+		res.Phases = append(res.Phases, pr)
+		res.TotalBytes += pr.Bytes
+		res.Seconds += pr.Seconds
+	}
+	ec.cleanup()
+	if res.Seconds > 0 {
+		res.BW = float64(res.TotalBytes) / res.Seconds
+	}
+	return res
+}
+
+// exec walks one node.
+func (ec *execState) exec(n *Node) {
+	switch n.Op {
+	case OpSeq:
+		for _, c := range n.Nodes {
+			ec.exec(c)
+		}
+	case OpRepeat:
+		for i := 0; i < n.Count; i++ {
+			ec.exec(n.Body)
+		}
+	case OpBursty:
+		gap := des.DurationOf(n.GapMS / 1000)
+		for i := 0; i < n.Count; i++ {
+			for b := 0; b < n.Burst; b++ {
+				ec.exec(n.Body)
+			}
+			if gap > 0 {
+				ec.c.Proc().Sleep(gap) // the compute phase between bursts
+			}
+		}
+	case OpMix:
+		ec.mix = append(ec.mix, n.ReadFraction)
+		for i := 0; i < n.Count; i++ {
+			ec.exec(n.Body)
+		}
+		ec.mix = ec.mix[:len(ec.mix)-1]
+	case OpZipf:
+		// Zipf over [0, Files): file 0 is the hot one. The generator
+		// draws from the shared RNG, so every rank picks the same file.
+		z := rand.NewZipf(ec.rng, n.Theta, 1, uint64(n.Files-1))
+		for i := 0; i < n.Count; i++ {
+			idx := z.Uint64()
+			ec.sel = append(ec.sel, fmt.Sprintf("_f%03d", idx))
+			ec.exec(n.Body)
+			ec.sel = ec.sel[:len(ec.sel)-1]
+		}
+	case OpStrided:
+		ec.runStrided(n)
+	case OpShared:
+		ec.runShared(n)
+	case OpSeparate:
+		ec.runSeparate(n)
+	case OpSegmented:
+		ec.runSegmented(n)
+	default:
+		ec.c.Proc().Fail("workload: unvalidated op %q", n.Op)
+	}
+}
+
+// baseName is the current communal file name (zipf selection applied).
+func (ec *execState) baseName() string {
+	name := "wl"
+	for _, s := range ec.sel {
+		name += s
+	}
+	return name
+}
+
+// dir decides one repetition's direction: the innermost mix ancestor
+// flips a shared-RNG coin; otherwise the leaf's Read flag stands.
+func (ec *execState) dir(n *Node) bool {
+	if len(ec.mix) > 0 {
+		return ec.rng.Float64() < ec.mix[len(ec.mix)-1]
+	}
+	return n.Read
+}
+
+// pureRead reports whether the leaf only reads (no mix ancestor that
+// could flip repetitions into writes).
+func (ec *execState) pureRead(n *Node) bool {
+	return n.Read && len(ec.mix) == 0
+}
+
+// open returns (opening on first use) the cached handle for name.
+func (ec *execState) open(name string, comm *mpi.Comm, separate bool) *mpiio.File {
+	if f, ok := ec.handles[name]; ok {
+		return f
+	}
+	f, err := mpiio.Open(comm, ec.fs, name, mpiio.ModeCreate|mpiio.ModeRdWr, mpiio.Info{})
+	if err != nil {
+		comm.Proc().Fail("workload: open %q: %v", name, err)
+	}
+	ec.handles[name] = f
+	if separate {
+		ec.sepNames[name] = true
+	} else {
+		ec.sharedNames[name] = true
+	}
+	return f
+}
+
+// claim reserves size bytes of the logical file and returns the base.
+func (ec *execState) claim(key string, size int64) int64 {
+	base := ec.cursor[key]
+	ec.cursor[key] = base + size
+	return base
+}
+
+// noteWritten raises the written high-water mark.
+func (ec *execState) noteWritten(key string, end int64) {
+	if end > ec.written[key] {
+		ec.written[key] = end
+	}
+}
+
+// readRegion resolves a pure-read leaf's target: wrap over the written
+// extent when there is one (count repetitions re-reading it), or a
+// fresh claim when the file was never written (raw disk reads).
+// stride is the bytes one repetition covers across all ranks.
+func (ec *execState) readRegion(key string, stride int64, count int) (base int64, wrap int) {
+	if w := ec.written[key]; w >= stride {
+		return 0, int(w / stride)
+	}
+	return ec.claim(key, int64(count)*stride), count
+}
+
+// runStrided executes a strided (scatter) leaf: rank r's disk chunks
+// interleave at r*l modulo n*l, Mem bytes per collective call.
+func (ec *execState) runStrided(n *Node) {
+	c := ec.c
+	np := int64(c.Size())
+	l := n.Chunk
+	L := n.Mem
+	if L == 0 {
+		L = l
+	}
+	stride := L * np
+	name := ec.baseName()
+	f := ec.open(name, c, false)
+	var base int64
+	wrap := n.Count
+	if ec.pureRead(n) {
+		base, wrap = ec.readRegion(name, stride, n.Count)
+	} else {
+		base = ec.claim(name, int64(n.Count)*stride)
+	}
+	if err := f.SetView(mpiio.View{
+		Disp:     base + int64(c.Rank())*l,
+		BlockLen: l,
+		Stride:   np * l,
+	}); err != nil {
+		c.Proc().Fail("workload: strided view: %v", err)
+	}
+	wrote := false
+	for rep := 0; rep < n.Count; rep++ {
+		f.SeekSet(int64(rep%wrap) * L)
+		if ec.dir(n) {
+			f.ReadAll(L)
+			ec.readBytes += L
+		} else {
+			f.WriteAll(L, nil)
+			ec.writeBytes += L
+			wrote = true
+		}
+		ec.ops++
+	}
+	if wrote {
+		ec.noteWritten(name, base+int64(n.Count)*stride)
+	}
+}
+
+// runShared executes a shared leaf: ordered collective accesses at the
+// shared file pointer, one call per chunk.
+func (ec *execState) runShared(n *Node) {
+	c := ec.c
+	np := int64(c.Size())
+	l := n.Chunk
+	stride := l * np
+	name := ec.baseName()
+	f := ec.open(name, c, false)
+	if err := f.SetView(mpiio.ContiguousView(0)); err != nil {
+		c.Proc().Fail("workload: shared view: %v", err)
+	}
+	var base int64
+	wrap := n.Count
+	if ec.pureRead(n) {
+		base, wrap = ec.readRegion(name, stride, n.Count)
+	} else {
+		base = ec.claim(name, int64(n.Count)*stride)
+	}
+	f.SeekShared(base)
+	wrote := false
+	for rep := 0; rep < n.Count; rep++ {
+		if rep > 0 && rep%wrap == 0 {
+			f.SeekShared(base)
+		}
+		if ec.dir(n) {
+			f.ReadOrdered(l)
+			ec.readBytes += l
+		} else {
+			f.WriteOrdered(l, nil)
+			ec.writeBytes += l
+			wrote = true
+		}
+		ec.ops++
+	}
+	if wrote {
+		ec.noteWritten(name, base+int64(n.Count)*stride)
+	}
+}
+
+// runSeparate executes a separate leaf: each rank accesses its own
+// file noncollectively. The layout is identical in every rank's file,
+// so the logical cursor stays rank-invariant.
+func (ec *execState) runSeparate(n *Node) {
+	c := ec.c
+	l := n.Chunk
+	key := ec.baseName() + "@sep"
+	name := fmt.Sprintf("%s.r%d", ec.baseName(), c.Rank())
+	f := ec.open(name, ec.self, true)
+	if err := f.SetView(mpiio.ContiguousView(0)); err != nil {
+		c.Proc().Fail("workload: separate view: %v", err)
+	}
+	var base int64
+	wrap := n.Count
+	if ec.pureRead(n) {
+		base, wrap = ec.readRegion(key, l, n.Count)
+	} else {
+		base = ec.claim(key, int64(n.Count)*l)
+	}
+	wrote := false
+	for rep := 0; rep < n.Count; rep++ {
+		f.SeekSet(base + int64(rep%wrap)*l)
+		if ec.dir(n) {
+			f.Read(l)
+			ec.readBytes += l
+		} else {
+			f.Write(l, nil)
+			ec.writeBytes += l
+			wrote = true
+		}
+		ec.ops++
+	}
+	if wrote {
+		ec.noteWritten(key, base+int64(n.Count)*l)
+	}
+}
+
+// runSegmented executes a segmented leaf: rank r owns one contiguous
+// segment of the communal file; Collective selects collective calls.
+func (ec *execState) runSegmented(n *Node) {
+	c := ec.c
+	np := int64(c.Size())
+	l := n.Chunk
+	name := ec.baseName()
+	f := ec.open(name, c, false)
+	var disp int64
+	wrap := n.Count
+	wrote := false
+	if ec.pureRead(n) {
+		base, w := ec.readRegion(name, l*np, n.Count)
+		wrap = w
+		disp = base + int64(c.Rank())*int64(wrap)*l
+	} else {
+		base := ec.claim(name, int64(n.Count)*l*np)
+		disp = base + int64(c.Rank())*int64(n.Count)*l
+	}
+	if err := f.SetView(mpiio.ContiguousView(disp)); err != nil {
+		c.Proc().Fail("workload: segmented view: %v", err)
+	}
+	for rep := 0; rep < n.Count; rep++ {
+		f.SeekSet(int64(rep%wrap) * l)
+		read := ec.dir(n)
+		switch {
+		case read && n.Collective:
+			f.ReadAll(l)
+		case read:
+			f.Read(l)
+		case n.Collective:
+			f.WriteAll(l, nil)
+		default:
+			f.Write(l, nil)
+		}
+		if read {
+			ec.readBytes += l
+		} else {
+			ec.writeBytes += l
+			wrote = true
+		}
+		ec.ops++
+	}
+	if wrote {
+		ec.noteWritten(name, disp-int64(c.Rank())*int64(n.Count)*l+int64(n.Count)*l*np)
+	}
+}
+
+// sortedHandles lists open handles in a rank-invariant order: the
+// varying rank suffix of separated files never decides the relative
+// order of two names, so every rank performs collective syncs and
+// closes in the same sequence.
+func (ec *execState) sortedHandles() []string {
+	names := make([]string, 0, len(ec.handles))
+	for n := range ec.handles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// syncAll drains every open file at the end of a phase, so the phase
+// time honestly includes the disk work its writes queued.
+func (ec *execState) syncAll() {
+	for _, name := range ec.sortedHandles() {
+		ec.handles[name].Sync()
+	}
+}
+
+// cleanup closes every handle and deletes the benchmark files.
+func (ec *execState) cleanup() {
+	c := ec.c
+	for _, name := range ec.sortedHandles() {
+		ec.handles[name].Close()
+	}
+	c.Barrier()
+	if c.Rank() == 0 {
+		shared := make([]string, 0, len(ec.sharedNames))
+		for n := range ec.sharedNames {
+			shared = append(shared, n)
+		}
+		sort.Strings(shared)
+		for _, n := range shared {
+			if ec.fs.Exists(n) {
+				ec.fs.Delete(c.Proc(), n)
+			}
+		}
+	}
+	sep := make([]string, 0, len(ec.sepNames))
+	for n := range ec.sepNames {
+		sep = append(sep, n)
+	}
+	sort.Strings(sep)
+	for _, n := range sep {
+		if ec.fs.Exists(n) {
+			ec.fs.Delete(c.Proc(), n)
+		}
+	}
+	c.Barrier()
+}

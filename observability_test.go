@@ -26,9 +26,9 @@ import (
 
 // TestObserversAttachSimultaneously is the acceptance test for the
 // Observer API redesign: trace, perturbation, invariant checking, obs
-// instruments, an ad-hoc observer, and the legacy single-callback
-// fields all watch one b_eff run at once — no chaining, no ordering
-// constraints — and each of them sees the full event stream.
+// instruments, and two independent ad-hoc observers all watch one
+// b_eff run at once — no chaining, no ordering constraints — and each
+// of them sees the full event stream.
 func TestObserversAttachSimultaneously(t *testing.T) {
 	p, err := beff.LookupMachine("t3e")
 	if err != nil {
@@ -69,13 +69,15 @@ func TestObserversAttachSimultaneously(t *testing.T) {
 		OnClockAdvance: func(from, to des.Time) { obsAdvances.Add(1) },
 	})
 
-	// Subscriber 6: the deprecated single-callback fields, which the
-	// compatibility shims must keep feeding alongside all of the above.
-	var legacySends, legacyMatches, legacyAdvances, legacyTransfers atomic.Int64
-	w.OnSend = func(src, dst int, size int64, at des.Time) { legacySends.Add(1) }
-	w.OnMatch = func(src, dst int, size int64, at des.Time) { legacyMatches.Add(1) }
-	w.OnClockAdvance = func(from, to des.Time) { legacyAdvances.Add(1) }
-	w.Net.SetOnTransfer(func(src, dst int, size int64, start, end des.Time) { legacyTransfers.Add(1) })
+	// Subscriber 6: a second independent ad-hoc observer — composition
+	// must keep feeding every subscriber alongside all of the above.
+	var extraSends, extraMatches, extraAdvances, extraTransfers atomic.Int64
+	w.Observe(mpi.Observer{
+		OnSend:         func(src, dst int, size int64, at des.Time) { extraSends.Add(1) },
+		OnMatch:        func(src, dst int, size int64, at des.Time) { extraMatches.Add(1) },
+		OnClockAdvance: func(from, to des.Time) { extraAdvances.Add(1) },
+	})
+	w.Net.Observe(func(src, dst int, size int64, start, end des.Time) { extraTransfers.Add(1) })
 
 	res, err := runCore(w)
 	if err != nil {
@@ -94,19 +96,19 @@ func TestObserversAttachSimultaneously(t *testing.T) {
 	dispatches, _ := snap.Get("des_dispatches_total")
 	sum := col.Summarize()
 
-	if legacySends.Load() == 0 || legacyMatches.Load() == 0 || legacyAdvances.Load() == 0 || legacyTransfers.Load() == 0 {
-		t.Fatalf("a legacy callback saw nothing: sends %d, matches %d, advances %d, transfers %d",
-			legacySends.Load(), legacyMatches.Load(), legacyAdvances.Load(), legacyTransfers.Load())
+	if extraSends.Load() == 0 || extraMatches.Load() == 0 || extraAdvances.Load() == 0 || extraTransfers.Load() == 0 {
+		t.Fatalf("a second observer saw nothing: sends %d, matches %d, advances %d, transfers %d",
+			extraSends.Load(), extraMatches.Load(), extraAdvances.Load(), extraTransfers.Load())
 	}
-	if got := int64(sends.Value + rdv.Value); got != legacySends.Load() || got != obsSends.Load() {
-		t.Fatalf("send streams disagree: metrics %d, legacy %d, observer %d",
-			got, legacySends.Load(), obsSends.Load())
+	if got := int64(sends.Value + rdv.Value); got != extraSends.Load() || got != obsSends.Load() {
+		t.Fatalf("send streams disagree: metrics %d, second observer %d, first observer %d",
+			got, extraSends.Load(), obsSends.Load())
 	}
-	if int64(transfers.Value) != legacyTransfers.Load() {
-		t.Fatalf("transfer streams disagree: metrics %.0f, legacy %d", transfers.Value, legacyTransfers.Load())
+	if int64(transfers.Value) != extraTransfers.Load() {
+		t.Fatalf("transfer streams disagree: metrics %.0f, observer %d", transfers.Value, extraTransfers.Load())
 	}
-	if int64(sum.Messages) != legacyTransfers.Load() {
-		t.Fatalf("trace collector saw %d messages, legacy hook %d", sum.Messages, legacyTransfers.Load())
+	if int64(sum.Messages) != extraTransfers.Load() {
+		t.Fatalf("trace collector saw %d messages, observer hook %d", sum.Messages, extraTransfers.Load())
 	}
 	if dispatches.Value == 0 || obsAdvances.Load() == 0 {
 		t.Fatalf("scheduler stream missing: %v dispatches, %d observed advances", dispatches.Value, obsAdvances.Load())
@@ -149,8 +151,8 @@ func TestObservabilityIsByteInvisible(t *testing.T) {
 			o.InstrumentNet(w.Net)
 			col := trace.New()
 			w.Net.Observe(col.OnTransfer)
-			w.OnSend = func(src, dst int, size int64, at des.Time) {}
-			w.Net.SetOnTransfer(func(src, dst int, size int64, start, end des.Time) {})
+			w.Observe(mpi.Observer{OnSend: func(src, dst int, size int64, at des.Time) {}})
+			w.Net.Observe(func(src, dst int, size int64, start, end des.Time) {})
 		}
 		res, err := runCore(w)
 		if err != nil {
